@@ -1,0 +1,74 @@
+package graphfly
+
+// One benchmark per table and figure of the paper's evaluation (§VII),
+// plus the design-choice ablations from DESIGN.md. Each benchmark runs the
+// corresponding harness runner (internal/expr) at a laptop scale; use
+// cmd/bench for readable tables and -full / GRAPHFLY_SCALE for larger
+// runs. Timings here measure the *whole experiment* (workload generation +
+// all engines), so compare figures through cmd/bench output rather than
+// ns/op when interpreting results.
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// benchScale keeps `go test -bench=.` under a few minutes total.
+func benchScale() expr.Scale {
+	return expr.Scale{EdgeCap: 20_000, BatchSize: 1_000, Batches: 2, MaxNodes: 16}
+}
+
+func runFigure(b *testing.B, run func(expr.Scale) expr.Table) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		t := run(sc)
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", t.ID)
+		}
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B)       { runFigure(b, expr.Table1) }
+func BenchmarkFig4aRedundancy(b *testing.B)      { runFigure(b, expr.Fig4a) }
+func BenchmarkFig4bFlowCounts(b *testing.B)      { runFigure(b, expr.Fig4b) }
+func BenchmarkFig11Overall(b *testing.B)         { runFigure(b, expr.Fig11) }
+func BenchmarkFig12MemAccesses(b *testing.B)     { runFigure(b, expr.Fig12) }
+func BenchmarkFig13StorageAblation(b *testing.B) { runFigure(b, expr.Fig13) }
+func BenchmarkFig14aDeletionRatio(b *testing.B)  { runFigure(b, expr.Fig14a) }
+func BenchmarkFig14bBatchSize(b *testing.B)      { runFigure(b, expr.Fig14b) }
+func BenchmarkFig15aDtreeGen(b *testing.B)       { runFigure(b, expr.Fig15a) }
+func BenchmarkFig15bDtreeMaint(b *testing.B)     { runFigure(b, expr.Fig15b) }
+func BenchmarkFig16Distributed(b *testing.B)     { runFigure(b, expr.Fig16) }
+func BenchmarkFig17Cores(b *testing.B)           { runFigure(b, expr.Fig17) }
+
+func BenchmarkAblationFlowCap(b *testing.B)  { runFigure(b, expr.AblationFlowCap) }
+func BenchmarkAblationSCC(b *testing.B)      { runFigure(b, expr.AblationSCC) }
+func BenchmarkAblationAsync(b *testing.B)    { runFigure(b, expr.AblationAsync) }
+func BenchmarkAblationTriangle(b *testing.B) { runFigure(b, expr.AblationTriangle) }
+
+// BenchmarkBatchSSSP measures steady-state per-batch cost of the GraphFly
+// engine itself (no workload generation in the timed loop).
+func BenchmarkBatchSSSP(b *testing.B) {
+	numV, edges := Dataset("LJ")
+	w := NewWorkload(numV, edges, DefaultStream(2000, 200, 1))
+	g := FromEdges(w.NumV, w.Initial)
+	eng := NewSSSP(g, 0, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ProcessBatch(w.Batches[i%len(w.Batches)])
+	}
+}
+
+// BenchmarkBatchPageRank is the accumulative counterpart.
+func BenchmarkBatchPageRank(b *testing.B) {
+	numV, edges := Dataset("LJ")
+	w := NewWorkload(numV, edges, DefaultStream(2000, 200, 2))
+	g := FromEdges(w.NumV, w.Initial)
+	eng := NewPageRank(g, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ProcessBatch(w.Batches[i%len(w.Batches)])
+	}
+}

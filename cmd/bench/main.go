@@ -1,0 +1,63 @@
+// Command bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bench                 # every table and figure at quick scale
+//	bench -fig 11         # just Fig 11
+//	bench -full           # dataset presets (honours GRAPHFLY_SCALE)
+//	bench -ablations      # the design-choice ablation studies
+//
+// Output is aligned text, one block per table/figure, matching the rows and
+// series the paper reports (see EXPERIMENTS.md for paper-vs-measured).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+func main() {
+	fig := flag.String("fig", "", "table/figure id: table1, 4a, 4b, 11, 12, 13, 14a, 14b, 15a, 15b, 16, 17 (empty = all)")
+	full := flag.Bool("full", false, "use the dataset presets instead of the quick scale")
+	ablations := flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
+	batch := flag.Int("batch", 0, "override batch size")
+	batches := flag.Int("batches", 0, "override number of batches")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	sc := expr.Quick()
+	if *full {
+		sc = expr.Full()
+	}
+	if *batch > 0 {
+		sc.BatchSize = *batch
+	}
+	if *batches > 0 {
+		sc.Batches = *batches
+	}
+	sc.Workers = *workers
+
+	if *ablations {
+		for _, t := range expr.Ablations(sc) {
+			fmt.Println(t)
+		}
+		return
+	}
+	if *fig == "" {
+		for _, t := range expr.All(sc) {
+			fmt.Println(t)
+		}
+		return
+	}
+	id := strings.ToLower(strings.TrimPrefix(*fig, "fig"))
+	run, ok := expr.ByID(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Println(run(sc))
+}

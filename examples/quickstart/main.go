@@ -1,0 +1,53 @@
+// Quickstart: maintain shortest paths over a small streaming graph and
+// watch values adjust as edges are inserted and deleted.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	graphfly "repro"
+)
+
+func main() {
+	// A small road network: 0 is the depot.
+	//
+	//	0 --1--> 1 --1--> 2 --1--> 3
+	//	 \________2_______/
+	g := graphfly.NewGraph(4)
+	for _, e := range []graphfly.Edge{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 1, Dst: 2, W: 1},
+		{Src: 2, Dst: 3, W: 1},
+		{Src: 0, Dst: 2, W: 2},
+	} {
+		g.AddEdge(e)
+	}
+
+	eng := graphfly.NewSSSP(g, 0, graphfly.Config{})
+	fmt.Println("initial distances:")
+	printDistances(eng, 4)
+
+	// A shortcut appears, and the 1->2 road closes.
+	stats := eng.ProcessBatch(graphfly.Batch{
+		{Edge: graphfly.Edge{Src: 0, Dst: 3, W: 1}},            // new shortcut
+		{Edge: graphfly.Edge{Src: 1, Dst: 2, W: 1}, Del: true}, // closure
+	})
+	fmt.Printf("\nafter one batch (%d updates applied, %d vertices trimmed):\n",
+		stats.Applied, stats.Trimmed)
+	printDistances(eng, 4)
+
+	// The closure is repaired with a slower road.
+	eng.ProcessBatch(graphfly.Batch{
+		{Edge: graphfly.Edge{Src: 1, Dst: 2, W: 5}},
+	})
+	fmt.Println("\nafter the repair:")
+	printDistances(eng, 4)
+}
+
+func printDistances(eng *graphfly.SelectiveEngine, n int) {
+	for v := graphfly.VertexID(0); int(v) < n; v++ {
+		fmt.Printf("  dist(0 -> %d) = %v\n", v, eng.Value(v))
+	}
+}

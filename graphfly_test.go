@@ -1,0 +1,94 @@
+package graphfly
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(Edge{Src: 0, Dst: 1, W: 1})
+	g.AddEdge(Edge{Src: 1, Dst: 2, W: 1})
+	eng := NewSSSP(g, 0, Config{})
+	if eng.Value(2) != 2 {
+		t.Fatalf("dist(2) = %v", eng.Value(2))
+	}
+	eng.ProcessBatch(Batch{
+		{Edge: Edge{Src: 0, Dst: 2, W: 1}},
+		{Edge: Edge{Src: 1, Dst: 2, W: 1}, Del: true},
+	})
+	if eng.Value(2) != 1 {
+		t.Fatalf("after batch, dist(2) = %v", eng.Value(2))
+	}
+	// Deleting the only path leaves 2 at the new direct edge; removing
+	// that too makes it unreachable.
+	eng.ProcessBatch(Batch{{Edge: Edge{Src: 0, Dst: 2, W: 1}, Del: true}})
+	if !math.IsInf(eng.Value(2), 1) {
+		t.Fatalf("unreachable dist(2) = %v", eng.Value(2))
+	}
+}
+
+func TestFacadeBFSAndSSWP(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(Edge{Src: 0, Dst: 1, W: 9})
+	g.AddEdge(Edge{Src: 1, Dst: 2, W: 4})
+	bfs := NewBFS(g.Clone(), 0, Config{})
+	if bfs.Value(2) != 2 {
+		t.Fatalf("BFS hops = %v", bfs.Value(2))
+	}
+	sswp := NewSSWP(g.Clone(), 0, Config{})
+	if sswp.Value(2) != 4 {
+		t.Fatalf("SSWP width = %v", sswp.Value(2))
+	}
+}
+
+func TestFacadeCC(t *testing.T) {
+	edges := SymmetrizeEdges([]Edge{{Src: 0, Dst: 1, W: 1}, {Src: 2, Dst: 3, W: 1}})
+	g := FromEdges(4, edges)
+	cc := NewCC(g, Config{})
+	if cc.Value(1) != 0 || cc.Value(3) != 2 {
+		t.Fatalf("labels: %v %v", cc.Value(1), cc.Value(3))
+	}
+	// Join the components (the engine symmetrizes batches itself).
+	cc.ProcessBatch(Batch{{Edge: Edge{Src: 1, Dst: 2, W: 1}}})
+	if cc.Value(3) != 0 {
+		t.Fatalf("after join, label(3) = %v", cc.Value(3))
+	}
+}
+
+func TestFacadePageRankAndLP(t *testing.T) {
+	numV, edges := Dataset("LJ")
+	w := NewWorkload(numV, edges, DefaultStream(500, 1, 3))
+	pr := NewPageRank(FromEdges(w.NumV, w.Initial), Config{})
+	pr.ProcessBatch(w.Batches[0])
+	vals := pr.Values()
+	if len(vals) != w.NumV {
+		t.Fatalf("PR values length %d", len(vals))
+	}
+	for _, x := range vals {
+		if x <= 0 || math.IsNaN(x) {
+			t.Fatalf("bad PR value %v", x)
+		}
+	}
+
+	lp := NewLabelPropagation(FromEdges(w.NumV, w.Initial), 3,
+		map[VertexID]int{0: 0, 1: 1, 2: 2}, Config{})
+	lp.ProcessBatch(w.Batches[0])
+	if got := Argmax(lp.State(0)); got != 0 {
+		t.Fatalf("seed 0 drifted to label %d", got)
+	}
+}
+
+func TestSymmetrizeEdges(t *testing.T) {
+	out := SymmetrizeEdges([]Edge{{Src: 1, Dst: 2, W: 3}, {Src: 2, Dst: 1, W: 3}})
+	if len(out) != 2 {
+		t.Fatalf("SymmetrizeEdges kept duplicates: %v", out)
+	}
+}
+
+func TestDatasetCodes(t *testing.T) {
+	numV, edges := Dataset("LJ")
+	if numV == 0 || len(edges) == 0 {
+		t.Fatal("LJ dataset empty")
+	}
+}

@@ -1,0 +1,199 @@
+package algo
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Accumulative is an aggregation-based vertex program with D-dimensional
+// state. Engines maintain, for every vertex v, the aggregate
+//
+//	agg(v) = Σ_{u→v} w_uv · unit(u)
+//
+// where unit(u) is u's per-weight contribution vector; the state is
+// state(v) = Update(Base(v), agg(v)). Because Unit folds in the damping
+// factor, the induced map is a contraction, so asynchronous (Gauss–Seidel)
+// and synchronous (Jacobi/BSP) evaluation converge to the same fixpoint
+// within Epsilon — the property GraphFly's per-flow asynchrony relies on.
+type Accumulative interface {
+	// Name returns the algorithm's short name.
+	Name() string
+	// Dim returns the state dimension (1 for PageRank, #labels for LP).
+	Dim() int
+	// Base writes v's base (teleport/seed) vector into dst.
+	Base(v graph.VertexID, dst []float64)
+	// Unit writes u's per-weight contribution vector into dst, given u's
+	// state and total out-weight. outWeight == 0 means a dangling vertex
+	// (contribution must be zero).
+	Unit(state []float64, outWeight float64, dst []float64)
+	// Update writes the new state into dst from the base and aggregate.
+	Update(base, agg, dst []float64)
+	// Epsilon is the convergence threshold on the max-norm state delta.
+	Epsilon() float64
+	// Symmetric reports whether undirected semantics are required.
+	Symmetric() bool
+}
+
+// PageRank is the damped, weighted PageRank: state(v) = (1-d)/N +
+// d·Σ_in (w/outW(u))·state(u). Dangling vertices drop their mass (the
+// common simplification; identical across all engines and the reference
+// solver, so comparisons are exact).
+type PageRank struct {
+	N       int     // number of vertices
+	Damping float64 // d, typically 0.85
+	Eps     float64
+}
+
+// NewPageRank returns PageRank with standard parameters.
+func NewPageRank(n int) PageRank { return PageRank{N: n, Damping: 0.85, Eps: 1e-9} }
+
+// Name implements Accumulative.
+func (PageRank) Name() string { return "PageRank" }
+
+// Dim implements Accumulative.
+func (PageRank) Dim() int { return 1 }
+
+// Base implements Accumulative.
+func (p PageRank) Base(_ graph.VertexID, dst []float64) {
+	dst[0] = (1 - p.Damping) / float64(p.N)
+}
+
+// Unit implements Accumulative: d·x/outW per unit of edge weight.
+func (p PageRank) Unit(state []float64, outWeight float64, dst []float64) {
+	if outWeight <= 0 {
+		dst[0] = 0
+		return
+	}
+	dst[0] = p.Damping * state[0] / outWeight
+}
+
+// Update implements Accumulative.
+func (PageRank) Update(base, agg, dst []float64) { dst[0] = base[0] + agg[0] }
+
+// Epsilon implements Accumulative.
+func (p PageRank) Epsilon() float64 { return p.Eps }
+
+// Symmetric implements Accumulative.
+func (PageRank) Symmetric() bool { return false }
+
+// LabelPropagation is seeded, damped label propagation: every seed vertex
+// holds a one-hot base over K labels, and label mass flows like damped
+// PageRank per label. Non-seed vertices converge to a distribution over
+// labels; Argmax gives the final assignment. This is the fraud-detection
+// style LP workload the paper cites.
+type LabelPropagation struct {
+	K     int                    // number of labels
+	Seeds map[graph.VertexID]int // vertex -> label
+	Alpha float64                // propagation weight, < 1
+	Eps   float64
+}
+
+// NewLabelPropagation returns LP with standard parameters.
+func NewLabelPropagation(k int, seeds map[graph.VertexID]int) LabelPropagation {
+	return LabelPropagation{K: k, Seeds: seeds, Alpha: 0.8, Eps: 1e-9}
+}
+
+// Name implements Accumulative.
+func (LabelPropagation) Name() string { return "LP" }
+
+// Dim implements Accumulative.
+func (l LabelPropagation) Dim() int { return l.K }
+
+// Base implements Accumulative: (1-α)·one-hot for seeds, zero elsewhere.
+func (l LabelPropagation) Base(v graph.VertexID, dst []float64) {
+	for i := range dst[:l.K] {
+		dst[i] = 0
+	}
+	if lab, ok := l.Seeds[v]; ok {
+		dst[lab] = 1 - l.Alpha
+	}
+}
+
+// Unit implements Accumulative: α·x/outW per unit of edge weight.
+func (l LabelPropagation) Unit(state []float64, outWeight float64, dst []float64) {
+	if outWeight <= 0 {
+		for i := range dst[:l.K] {
+			dst[i] = 0
+		}
+		return
+	}
+	s := l.Alpha / outWeight
+	for i := 0; i < l.K; i++ {
+		dst[i] = s * state[i]
+	}
+}
+
+// Update implements Accumulative.
+func (l LabelPropagation) Update(base, agg, dst []float64) {
+	for i := 0; i < l.K; i++ {
+		dst[i] = base[i] + agg[i]
+	}
+}
+
+// Epsilon implements Accumulative.
+func (l LabelPropagation) Epsilon() float64 { return l.Eps }
+
+// Symmetric implements Accumulative.
+func (LabelPropagation) Symmetric() bool { return false }
+
+// Argmax returns the index of the largest component (smallest index wins
+// ties), or -1 for an all-zero vector — LP's final label for a vertex.
+func Argmax(x []float64) int {
+	best, bi := 0.0, -1
+	for i, v := range x {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// SolveAccumulative computes the fixpoint of alg on g from scratch with
+// synchronous Jacobi iterations until the max-norm state delta drops below
+// Epsilon. It is the reference every incremental engine is tested against.
+// The returned slice is row-major: state of v at [v*Dim : (v+1)*Dim].
+func SolveAccumulative(g *graph.Streaming, alg Accumulative) []float64 {
+	n, d := g.NumVertices(), alg.Dim()
+	state := make([]float64, n*d)
+	next := make([]float64, n*d)
+	base := make([]float64, n*d)
+	outW := make([]float64, n)
+	for v := 0; v < n; v++ {
+		alg.Base(graph.VertexID(v), base[v*d:(v+1)*d])
+		copy(state[v*d:(v+1)*d], base[v*d:(v+1)*d])
+		for _, h := range g.Out(graph.VertexID(v)) {
+			outW[v] += h.W
+		}
+	}
+	unit := make([]float64, d)
+	agg := make([]float64, n*d)
+	for iter := 0; iter < 10000; iter++ {
+		for i := range agg {
+			agg[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			alg.Unit(state[u*d:(u+1)*d], outW[u], unit)
+			for _, h := range g.Out(graph.VertexID(u)) {
+				row := int(h.To) * d
+				for i := 0; i < d; i++ {
+					agg[row+i] += h.W * unit[i]
+				}
+			}
+		}
+		maxDelta := 0.0
+		for v := 0; v < n; v++ {
+			alg.Update(base[v*d:(v+1)*d], agg[v*d:(v+1)*d], next[v*d:(v+1)*d])
+			for i := 0; i < d; i++ {
+				if delta := math.Abs(next[v*d+i] - state[v*d+i]); delta > maxDelta {
+					maxDelta = delta
+				}
+			}
+		}
+		state, next = next, state
+		if maxDelta < alg.Epsilon() {
+			break
+		}
+	}
+	return state
+}

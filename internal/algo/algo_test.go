@@ -1,0 +1,279 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// The Fig 2 SSSP example: A=0, B=1, C=2, D=3, E=4.
+// Edges: A->B(2), A->D(1)... we use the paper's shape loosely: a diamond
+// with a known hand-checked answer.
+func fig2Graph() *graph.Streaming {
+	return graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, // A->B
+		{Src: 0, Dst: 3, W: 1}, // A->D
+		{Src: 1, Dst: 2, W: 1}, // B->C
+		{Src: 3, Dst: 2, W: 3}, // D->C
+		{Src: 2, Dst: 4, W: 1}, // C->E
+	})
+}
+
+func TestSSSPKnownValues(t *testing.T) {
+	g := fig2Graph()
+	vals, parent := SolveSelective(g, SSSP{Src: 0})
+	want := []float64{0, 1, 2, 1, 3}
+	for v, w := range want {
+		if vals[v] != w {
+			t.Fatalf("dist[%d] = %v, want %v (all: %v)", v, vals[v], w, vals)
+		}
+	}
+	if parent[0] != -1 {
+		t.Fatalf("source parent = %d", parent[0])
+	}
+	if parent[2] != 1 {
+		t.Fatalf("C's key edge should come from B, got %d", parent[2])
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1, W: 1}})
+	vals, parent := SolveSelective(g, SSSP{Src: 0})
+	if !math.IsInf(vals[2], 1) {
+		t.Fatalf("unreachable vertex has dist %v", vals[2])
+	}
+	if parent[2] != -1 {
+		t.Fatalf("unreachable vertex has parent %d", parent[2])
+	}
+}
+
+func TestBFSIgnoresWeights(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1, W: 100}, {Src: 1, Dst: 2, W: 100}, {Src: 0, Dst: 3, W: 1},
+	})
+	vals, _ := SolveSelective(g, BFS{Src: 0})
+	want := []float64{0, 1, 2, 1}
+	for v, w := range want {
+		if vals[v] != w {
+			t.Fatalf("hops[%d] = %v, want %v", v, vals[v], w)
+		}
+	}
+}
+
+func TestSSWPWidestPath(t *testing.T) {
+	// Two routes 0->3: via 1 (min(5,2)=2) and via 2 (min(3,3)=3).
+	g := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1, W: 5}, {Src: 1, Dst: 3, W: 2},
+		{Src: 0, Dst: 2, W: 3}, {Src: 2, Dst: 3, W: 3},
+	})
+	vals, parent := SolveSelective(g, SSWP{Src: 0})
+	if vals[3] != 3 {
+		t.Fatalf("width[3] = %v, want 3", vals[3])
+	}
+	if parent[3] != 2 {
+		t.Fatalf("widest path should go through 2, parent = %d", parent[3])
+	}
+	if !math.IsInf(vals[0], 1) {
+		t.Fatalf("source width = %v", vals[0])
+	}
+}
+
+func TestCCSymmetrizedComponents(t *testing.T) {
+	// Two components {0,1,2} and {3,4}; edges inserted both ways as the
+	// Symmetric contract requires.
+	g := graph.NewStreaming(5)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {1, 2}, {3, 4}} {
+		g.AddEdge(graph.Edge{Src: e[0], Dst: e[1], W: 1})
+		g.AddEdge(graph.Edge{Src: e[1], Dst: e[0], W: 1})
+	}
+	vals, _ := SolveSelective(g, CC{})
+	want := []float64{0, 0, 0, 3, 3}
+	for v, w := range want {
+		if vals[v] != w {
+			t.Fatalf("label[%d] = %v, want %v", v, vals[v], w)
+		}
+	}
+}
+
+func TestSelectiveParentsFormSupportPaths(t *testing.T) {
+	// Walking parents from any reached vertex must arrive at the source
+	// with exactly the vertex's value accumulated (SSSP invariant).
+	cfg := gen.TestDataset(21)
+	g := graph.FromEdges(cfg.NumV, gen.Generate(cfg))
+	alg := SSSP{Src: 0}
+	vals, parent := SolveSelective(g, alg)
+	for v := 0; v < cfg.NumV; v++ {
+		if math.IsInf(vals[v], 1) {
+			continue
+		}
+		// Re-derive the value from the parent's value plus edge weight.
+		p := parent[v]
+		if p == -1 {
+			if graph.VertexID(v) != alg.Src && vals[v] != alg.Base(graph.VertexID(v)) {
+				t.Fatalf("vertex %d reached but parentless with %v", v, vals[v])
+			}
+			continue
+		}
+		w, ok := g.HasEdge(graph.VertexID(p), graph.VertexID(v))
+		if !ok {
+			t.Fatalf("key edge %d->%d not in graph", p, v)
+		}
+		if got := alg.Propagate(vals[p], w); got != vals[v] {
+			t.Fatalf("key edge %d->%d does not support value: %v vs %v", p, v, got, vals[v])
+		}
+	}
+}
+
+func TestPageRankSumsToOneOnClosedGraph(t *testing.T) {
+	// A directed cycle has no dangling vertices, so PR mass is conserved:
+	// the values sum to 1.
+	n := 10
+	g := graph.NewStreaming(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID((i + 1) % n), W: 1})
+	}
+	pr := NewPageRank(n)
+	state := SolveAccumulative(g, pr)
+	sum := 0.0
+	for _, x := range state {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PR sum = %v, want 1", sum)
+	}
+	// Symmetric cycle: all values equal.
+	for _, x := range state {
+		if math.Abs(x-state[0]) > 1e-9 {
+			t.Fatalf("cycle PR not uniform: %v", state)
+		}
+	}
+}
+
+func TestPageRankPrefersHighInDegree(t *testing.T) {
+	// Star into vertex 0: it must hold the highest rank.
+	n := 6
+	g := graph.NewStreaming(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: 0, W: 1})
+	}
+	g.AddEdge(graph.Edge{Src: 0, Dst: 1, W: 1}) // keep 0 non-dangling
+	state := SolveAccumulative(g, NewPageRank(n))
+	for v := 1; v < n; v++ {
+		if state[0] <= state[v] {
+			t.Fatalf("hub rank %v not above leaf %d rank %v", state[0], v, state[v])
+		}
+	}
+}
+
+func TestLabelPropagationSeeds(t *testing.T) {
+	// Chain 0-1-2-3-4 with seeds at both ends: vertices adopt the nearer
+	// seed's label.
+	n := 5
+	g := graph.NewStreaming(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), W: 1})
+		g.AddEdge(graph.Edge{Src: graph.VertexID(i + 1), Dst: graph.VertexID(i), W: 1})
+	}
+	lp := NewLabelPropagation(2, map[graph.VertexID]int{0: 0, 4: 1})
+	state := SolveAccumulative(g, lp)
+	if Argmax(state[1*2:2*2]) != 0 {
+		t.Fatalf("vertex 1 should take label 0: %v", state[2:4])
+	}
+	if Argmax(state[3*2:4*2]) != 1 {
+		t.Fatalf("vertex 3 should take label 1: %v", state[6:8])
+	}
+	if Argmax(state[0:2]) != 0 || Argmax(state[4*2:5*2]) != 1 {
+		t.Fatal("seeds drifted from their own labels")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax([]float64{0, 0}) != -1 {
+		t.Fatal("all-zero should be -1")
+	}
+	if Argmax([]float64{0.1, 0.5, 0.2}) != 1 {
+		t.Fatal("wrong argmax")
+	}
+	if Argmax([]float64{0.5, 0.5}) != 0 {
+		t.Fatal("tie should pick smallest index")
+	}
+}
+
+// Fixpoint property: the solved state satisfies its own equations.
+func TestAccumulativeFixpointProperty(t *testing.T) {
+	cfg := gen.Config{Kind: gen.RMAT, NumV: 128, NumE: 512, Seed: 31, A: 0.57, B: 0.19, C: 0.19}
+	g := graph.FromEdges(cfg.NumV, gen.Generate(cfg))
+	pr := NewPageRank(cfg.NumV)
+	state := SolveAccumulative(g, pr)
+	// Recompute one Jacobi step; it must move < 10*eps.
+	again := SolveAccumulative(g, pr)
+	for i := range state {
+		if math.Abs(state[i]-again[i]) > 1e-12 {
+			t.Fatalf("solver not deterministic at %d", i)
+		}
+	}
+	// Verify the equation directly at a few vertices.
+	outW := make([]float64, cfg.NumV)
+	for v := 0; v < cfg.NumV; v++ {
+		for _, h := range g.Out(graph.VertexID(v)) {
+			outW[v] += h.W
+		}
+	}
+	for v := 0; v < cfg.NumV; v += 17 {
+		agg := 0.0
+		for _, h := range g.In(graph.VertexID(v)) {
+			u := h.To
+			if outW[u] > 0 {
+				agg += h.W * pr.Damping * state[u] / outW[u]
+			}
+		}
+		want := (1-pr.Damping)/float64(cfg.NumV) + agg
+		if math.Abs(want-state[v]) > 1e-6 {
+			t.Fatalf("fixpoint violated at %d: %v vs %v", v, state[v], want)
+		}
+	}
+}
+
+// Determinism of the selective solver across runs and its independence of
+// insertion order.
+func TestSelectiveOrderIndependence(t *testing.T) {
+	cfg := gen.TestDataset(55)
+	edges := gen.Generate(cfg)
+	g1 := graph.FromEdges(cfg.NumV, edges)
+	// Shuffled insertion order.
+	r := rng.New(5)
+	shuffled := append([]graph.Edge(nil), edges...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	g2 := graph.FromEdges(cfg.NumV, shuffled)
+	v1, _ := SolveSelective(g1, SSSP{Src: 0})
+	v2, _ := SolveSelective(g2, SSSP{Src: 0})
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("values depend on insertion order at %d: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+}
+
+func BenchmarkSolveSSSPStatic(b *testing.B) {
+	cfg := gen.TestDataset(1)
+	cfg.NumV, cfg.NumE = 10000, 80000
+	g := graph.FromEdges(cfg.NumV, gen.Generate(cfg))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveSelective(g, SSSP{Src: 0})
+	}
+}
+
+func BenchmarkSolvePageRankStatic(b *testing.B) {
+	cfg := gen.TestDataset(1)
+	cfg.NumV, cfg.NumE = 2000, 16000
+	g := graph.FromEdges(cfg.NumV, gen.Generate(cfg))
+	pr := NewPageRank(cfg.NumV)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveAccumulative(g, pr)
+	}
+}

@@ -1,0 +1,179 @@
+// Package algo defines the two algorithm families the paper evaluates and
+// their static (from-scratch) reference solvers.
+//
+// Selective (monotonic) algorithms — SSSP, SSWP, BFS, CC — compute each
+// vertex's value by *selecting* the best candidate offered by one in-edge;
+// that edge is the vertex's key edge, and the key edges form the dependence
+// forest that drives trimming and dependency-flow extraction (§IV-B).
+//
+// Accumulative algorithms — PageRank, Label Propagation — derive a vertex's
+// state from the *aggregate* of all in-edge contributions (§IV-B), handled
+// by the delta-push machinery in accumulative.go.
+package algo
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Selective is a monotonic, selection-based vertex program.
+//
+// The contract engines rely on: Base(v) is achievable with no in-edges;
+// Propagate maps an achievable value across an edge to an achievable value;
+// Better is a strict total preorder; and repeated relaxation from any
+// achievable over-approximation converges to the unique fixpoint. These are
+// exactly KickStarter's safety conditions for trimmed approximations.
+type Selective interface {
+	// Name returns the algorithm's short name (matches the paper).
+	Name() string
+	// Base returns v's value in the absence of in-edges.
+	Base(v graph.VertexID) float64
+	// Better reports whether a is strictly better than b.
+	Better(a, b float64) bool
+	// Propagate maps the source value across an edge of weight w.
+	Propagate(uVal float64, w graph.Weight) float64
+	// Symmetric reports whether the algorithm needs undirected semantics
+	// (each logical edge present in both directions), as CC does.
+	Symmetric() bool
+}
+
+// SSSP is single-source shortest paths with positive weights.
+type SSSP struct{ Src graph.VertexID }
+
+// Name implements Selective.
+func (SSSP) Name() string { return "SSSP" }
+
+// Base implements Selective: 0 at the source, +Inf elsewhere.
+func (a SSSP) Base(v graph.VertexID) float64 {
+	if v == a.Src {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// Better implements Selective: shorter is better.
+func (SSSP) Better(x, y float64) bool { return x < y }
+
+// Propagate implements Selective.
+func (SSSP) Propagate(u float64, w graph.Weight) float64 {
+	if math.IsInf(u, 1) {
+		return u
+	}
+	return u + w
+}
+
+// Symmetric implements Selective.
+func (SSSP) Symmetric() bool { return false }
+
+// BFS computes hop counts from a source; edge weights are ignored.
+type BFS struct{ Src graph.VertexID }
+
+// Name implements Selective.
+func (BFS) Name() string { return "BFS" }
+
+// Base implements Selective.
+func (a BFS) Base(v graph.VertexID) float64 {
+	if v == a.Src {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// Better implements Selective.
+func (BFS) Better(x, y float64) bool { return x < y }
+
+// Propagate implements Selective: one more hop.
+func (BFS) Propagate(u float64, _ graph.Weight) float64 {
+	if math.IsInf(u, 1) {
+		return u
+	}
+	return u + 1
+}
+
+// Symmetric implements Selective.
+func (BFS) Symmetric() bool { return false }
+
+// SSWP is single-source widest paths: the value is the best bottleneck
+// capacity over all paths from the source.
+type SSWP struct{ Src graph.VertexID }
+
+// Name implements Selective.
+func (SSWP) Name() string { return "SSWP" }
+
+// Base implements Selective: infinite width at the source, zero elsewhere.
+func (a SSWP) Base(v graph.VertexID) float64 {
+	if v == a.Src {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// Better implements Selective: wider is better.
+func (SSWP) Better(x, y float64) bool { return x > y }
+
+// Propagate implements Selective: the bottleneck of the path.
+func (SSWP) Propagate(u float64, w graph.Weight) float64 { return math.Min(u, w) }
+
+// Symmetric implements Selective.
+func (SSWP) Symmetric() bool { return false }
+
+// CC is connected components by minimum-label propagation over undirected
+// edges: every vertex converges to the smallest vertex ID in its component.
+type CC struct{}
+
+// Name implements Selective.
+func (CC) Name() string { return "CC" }
+
+// Base implements Selective: a vertex's own ID is always achievable.
+func (CC) Base(v graph.VertexID) float64 { return float64(v) }
+
+// Better implements Selective: smaller label wins.
+func (CC) Better(x, y float64) bool { return x < y }
+
+// Propagate implements Selective: labels cross edges unchanged.
+func (CC) Propagate(u float64, _ graph.Weight) float64 { return u }
+
+// Symmetric implements Selective: components are undirected.
+func (CC) Symmetric() bool { return true }
+
+// SolveSelective computes the exact fixpoint of alg on g from scratch with
+// a sequential SPFA-style worklist. It is the ground truth every
+// incremental engine is tested against, and the Tornado-style
+// "recompute from scratch" baseline.
+//
+// The returned parent slice records each vertex's key edge source (-1 for
+// none), i.e. the dependence forest at the fixpoint.
+func SolveSelective(g *graph.Streaming, alg Selective) (vals []float64, parent []int32) {
+	n := g.NumVertices()
+	vals = make([]float64, n)
+	parent = make([]int32, n)
+	inQueue := make([]bool, n)
+	queue := make([]graph.VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		vals[v] = alg.Base(graph.VertexID(v))
+		parent[v] = -1
+		// Seed every vertex whose base value can propagate: cheap and
+		// uniform (handles both single-source and source-free algorithms).
+		queue = append(queue, graph.VertexID(v))
+		inQueue[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		uVal := vals[v]
+		for _, h := range g.Out(v) {
+			cand := alg.Propagate(uVal, h.W)
+			if alg.Better(cand, vals[h.To]) {
+				vals[h.To] = cand
+				parent[h.To] = int32(v)
+				if !inQueue[h.To] {
+					inQueue[h.To] = true
+					queue = append(queue, h.To)
+				}
+			}
+		}
+	}
+	return vals, parent
+}

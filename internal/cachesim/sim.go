@@ -1,0 +1,207 @@
+package cachesim
+
+import "sync"
+
+// Config describes the simulated cache. The default approximates one core's
+// slice of a Xeon E5-2680v4 L2+LLC share (the paper's test machine).
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // cache line size
+	Ways      int // associativity
+}
+
+// DefaultConfig is 512 KiB, 64-byte lines, 8-way.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8}
+}
+
+func (c Config) sets() int {
+	s := c.SizeBytes / (c.LineBytes * c.Ways)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Sim is a Probe backed by a set-associative LRU cache model plus
+// phase/redundancy tracking. Not safe for concurrent use: Fork per worker.
+type Sim struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+
+	// tags[set*ways+way]; lru stores a per-way timestamp.
+	tags  []uint64
+	valid []bool
+	lru   []uint64
+	tick  uint64
+
+	phase Phase
+
+	// refineTouch records line addresses touched during PhaseRefine in the
+	// current batch. It lives on the ROOT probe and is shared by every
+	// fork (guarded by rtMu) so that redundancy is detected across workers
+	// and phases: refinement on one worker, recomputation on another.
+	refineTouch map[uint64]struct{}
+	rtMu        sync.Mutex
+
+	stats Stats
+
+	parent *Sim // root collects forked stats
+	mu     sync.Mutex
+	forks  []*Sim
+}
+
+// NewSim returns a simulating probe with the given configuration.
+func NewSim(cfg Config) *Sim {
+	if cfg.SizeBytes == 0 {
+		cfg = DefaultConfig()
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	sets := cfg.sets()
+	// Round sets down to a power of two for mask indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &Sim{
+		cfg:         cfg,
+		lineShift:   shift,
+		setMask:     uint64(sets - 1),
+		tags:        make([]uint64, sets*cfg.Ways),
+		valid:       make([]bool, sets*cfg.Ways),
+		lru:         make([]uint64, sets*cfg.Ways),
+		refineTouch: make(map[uint64]struct{}),
+	}
+}
+
+// Access implements Probe.
+func (s *Sim) Access(addr uint64, write bool, class Class) {
+	if write {
+		s.stats.Writes[class]++
+	} else {
+		s.stats.Reads[class]++
+	}
+	s.stats.PhaseAccesses[s.phase]++
+
+	line := addr >> s.lineShift
+	hit := s.touch(line)
+	if hit {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+
+	root := s
+	if s.parent != nil {
+		root = s.parent
+	}
+	switch s.phase {
+	case PhaseRefine:
+		root.rtMu.Lock()
+		root.refineTouch[line] = struct{}{}
+		root.rtMu.Unlock()
+	case PhaseRecompute:
+		root.rtMu.Lock()
+		_, ok := root.refineTouch[line]
+		root.rtMu.Unlock()
+		if ok {
+			s.stats.Redundant++
+			if !hit {
+				s.stats.RedundantMisses++
+			}
+		}
+	}
+}
+
+// touch simulates the cache access and reports hit.
+func (s *Sim) touch(line uint64) bool {
+	s.tick++
+	set := int(line & s.setMask)
+	base := set * s.cfg.Ways
+	victim := base
+	oldest := ^uint64(0)
+	for w := 0; w < s.cfg.Ways; w++ {
+		i := base + w
+		if s.valid[i] && s.tags[i] == line {
+			s.lru[i] = s.tick
+			return true
+		}
+		if !s.valid[i] {
+			victim = i
+			oldest = 0
+		} else if s.lru[i] < oldest {
+			victim = i
+			oldest = s.lru[i]
+		}
+	}
+	s.tags[victim] = line
+	s.valid[victim] = true
+	s.lru[victim] = s.tick
+	return false
+}
+
+// SetPhase implements Probe.
+func (s *Sim) SetPhase(p Phase) { s.phase = p }
+
+// BeginBatch implements Probe: clears redundancy tracking for a new batch.
+// Forks delegate to the root's shared set.
+func (s *Sim) BeginBatch() {
+	root := s
+	if s.parent != nil {
+		root = s.parent
+	}
+	root.rtMu.Lock()
+	clear(root.refineTouch)
+	root.rtMu.Unlock()
+}
+
+// Fork implements Probe. Each fork models a private per-worker cache (one
+// core's cache in the paper's machine) and feeds the root's Drain.
+func (s *Sim) Fork() Probe {
+	root := s
+	if s.parent != nil {
+		root = s.parent
+	}
+	f := NewSim(s.cfg)
+	f.parent = root
+	f.phase = s.phase
+	root.mu.Lock()
+	root.forks = append(root.forks, f)
+	root.mu.Unlock()
+	return f
+}
+
+// Drain returns aggregated statistics across this probe and every fork.
+func (s *Sim) Drain() Stats {
+	out := s.stats
+	s.mu.Lock()
+	forks := append([]*Sim(nil), s.forks...)
+	s.mu.Unlock()
+	for _, f := range forks {
+		out.Add(f.stats)
+	}
+	return out
+}
+
+// Reset zeroes statistics and cache contents on this probe and its forks.
+func (s *Sim) Reset() {
+	s.stats = Stats{}
+	for i := range s.valid {
+		s.valid[i] = false
+	}
+	clear(s.refineTouch)
+	s.mu.Lock()
+	forks := append([]*Sim(nil), s.forks...)
+	s.mu.Unlock()
+	for _, f := range forks {
+		f.Reset()
+	}
+}
+
+var _ Probe = (*Sim)(nil)
+var _ Probe = Nop{}

@@ -1,0 +1,202 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNopIsInert(t *testing.T) {
+	var p Probe = Nop{}
+	p.Access(1, true, ClassVertex)
+	p.SetPhase(PhaseRefine)
+	p.BeginBatch()
+	if f := p.Fork(); f == nil {
+		t.Fatal("Nop.Fork returned nil")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s := NewSim(DefaultConfig())
+	s.Access(0x1000, false, ClassVertex)
+	s.Access(0x1000, false, ClassVertex)
+	s.Access(0x1008, false, ClassVertex) // same 64-byte line
+	st := s.Drain()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", st.Hits, st.Misses)
+	}
+	if st.Reads[ClassVertex] != 3 {
+		t.Fatalf("reads=%d", st.Reads[ClassVertex])
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Tiny cache: 2 sets x 2 ways x 64B lines = 256 bytes.
+	s := NewSim(Config{SizeBytes: 256, LineBytes: 64, Ways: 2})
+	// Three distinct lines mapping to the same set (stride = 2 lines).
+	a, b, c := uint64(0), uint64(2*64), uint64(4*64)
+	s.Access(a, false, ClassVertex) // miss
+	s.Access(b, false, ClassVertex) // miss
+	s.Access(c, false, ClassVertex) // miss, evicts a (LRU)
+	s.Access(b, false, ClassVertex) // hit
+	s.Access(a, false, ClassVertex) // miss again — was evicted
+	st := s.Drain()
+	if st.Misses != 4 || st.Hits != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/4", st.Hits, st.Misses)
+	}
+}
+
+func TestSequentialBeatsScattered(t *testing.T) {
+	// The property the specialized layout exploits: sequential addresses
+	// share lines, scattered ones do not.
+	seq := NewSim(DefaultConfig())
+	for i := 0; i < 4096; i++ {
+		seq.Access(uint64(i*8), false, ClassVertex)
+	}
+	scat := NewSim(DefaultConfig())
+	for i := 0; i < 4096; i++ {
+		scat.Access(uint64(i)*4096, false, ClassVertex)
+	}
+	sSt, cSt := seq.Drain(), scat.Drain()
+	if sSt.Misses*4 > cSt.Misses {
+		t.Fatalf("sequential misses %d not ≪ scattered %d", sSt.Misses, cSt.Misses)
+	}
+	if sSt.HitRate() < 0.8 {
+		t.Fatalf("sequential hit rate %.2f too low", sSt.HitRate())
+	}
+}
+
+func TestRedundancyTracking(t *testing.T) {
+	s := NewSim(DefaultConfig())
+	s.BeginBatch()
+	s.SetPhase(PhaseRefine)
+	s.Access(0x100, false, ClassVertex)
+	s.Access(0x200, true, ClassVertex)
+	s.SetPhase(PhaseRecompute)
+	s.Access(0x100, false, ClassVertex) // redundant
+	s.Access(0x300, false, ClassVertex) // fresh
+	st := s.Drain()
+	if st.Redundant != 1 {
+		t.Fatalf("Redundant = %d, want 1", st.Redundant)
+	}
+	if st.PhaseAccesses[PhaseRefine] != 2 || st.PhaseAccesses[PhaseRecompute] != 2 {
+		t.Fatalf("phase accesses = %v", st.PhaseAccesses)
+	}
+	// New batch clears the refine set.
+	s.BeginBatch()
+	s.SetPhase(PhaseRecompute)
+	s.Access(0x100, false, ClassVertex)
+	if st := s.Drain(); st.Redundant != 1 {
+		t.Fatalf("redundancy leaked across batches: %d", st.Redundant)
+	}
+}
+
+func TestRedundantMissesNeedEviction(t *testing.T) {
+	// With a big cache, the re-touch is a hit, so RedundantMisses stays 0.
+	s := NewSim(DefaultConfig())
+	s.BeginBatch()
+	s.SetPhase(PhaseRefine)
+	s.Access(0x100, false, ClassVertex)
+	s.SetPhase(PhaseRecompute)
+	s.Access(0x100, false, ClassVertex)
+	if st := s.Drain(); st.RedundantMisses != 0 {
+		t.Fatalf("RedundantMisses = %d with no eviction", st.RedundantMisses)
+	}
+	// With a one-line cache, an intervening access evicts, so the re-touch
+	// is both redundant and a miss.
+	tiny := NewSim(Config{SizeBytes: 64, LineBytes: 64, Ways: 1})
+	tiny.BeginBatch()
+	tiny.SetPhase(PhaseRefine)
+	tiny.Access(0x100, false, ClassVertex)
+	tiny.SetPhase(PhaseRecompute)
+	tiny.Access(0x900, false, ClassVertex) // evicts 0x100
+	tiny.Access(0x100, false, ClassVertex) // redundant miss
+	if st := tiny.Drain(); st.RedundantMisses != 1 {
+		t.Fatalf("RedundantMisses = %d, want 1", st.RedundantMisses)
+	}
+}
+
+func TestForkAggregation(t *testing.T) {
+	root := NewSim(DefaultConfig())
+	root.Access(0, false, ClassMeta)
+	f1 := root.Fork()
+	f2 := root.Fork()
+	f1.Access(0x1000, true, ClassEdge)
+	f2.Access(0x2000, false, ClassVertex)
+	// Fork of a fork still reports to the root.
+	f3 := f1.Fork()
+	f3.Access(0x3000, false, ClassVertex)
+	st := root.Drain()
+	if st.Total() != 4 {
+		t.Fatalf("aggregated total = %d, want 4", st.Total())
+	}
+	if st.Writes[ClassEdge] != 1 || st.Reads[ClassVertex] != 2 || st.Reads[ClassMeta] != 1 {
+		t.Fatalf("per-class counts wrong: %+v", st)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	root := NewSim(DefaultConfig())
+	f := root.Fork()
+	root.Access(0x10, false, ClassVertex)
+	f.Access(0x20, false, ClassVertex)
+	root.Reset()
+	if st := root.Drain(); st.Total() != 0 {
+		t.Fatalf("stats survived Reset: %+v", st)
+	}
+	// Cache contents cleared too: the next access must miss.
+	root.Access(0x10, false, ClassVertex)
+	if st := root.Drain(); st.Misses != 1 {
+		t.Fatalf("cache contents survived Reset")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Hits: 1, Misses: 2, Redundant: 3}
+	a.Reads[ClassVertex] = 5
+	b := Stats{Hits: 10, Misses: 20, Redundant: 30}
+	b.Reads[ClassVertex] = 50
+	a.Add(b)
+	if a.Hits != 11 || a.Misses != 22 || a.Redundant != 33 || a.Reads[ClassVertex] != 55 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestRatiosOnEmptyStats(t *testing.T) {
+	var s Stats
+	if s.RedundancyRatio() != 0 || s.HitRate() != 0 {
+		t.Fatal("ratios on empty stats should be 0")
+	}
+}
+
+// Property: hits + misses == total accesses for any access pattern.
+func TestAccountingProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		s := NewSim(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2})
+		for i, a := range addrs {
+			s.Access(uint64(a), i%3 == 0, Class(i%3))
+		}
+		st := s.Drain()
+		return st.Hits+st.Misses == st.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeating the same address never misses after the first access.
+func TestSingleLineAlwaysHits(t *testing.T) {
+	s := NewSim(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		s.Access(0x42, false, ClassVertex)
+	}
+	if st := s.Drain(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+}
+
+func BenchmarkSimAccess(b *testing.B) {
+	s := NewSim(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		s.Access(uint64(i)*8, false, ClassVertex)
+	}
+}

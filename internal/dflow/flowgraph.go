@@ -1,0 +1,125 @@
+package dflow
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+func errDuplicate(v uint32) error { return fmt.Errorf("dflow: vertex %d in two flows", v) }
+func errFlowOf(v uint32, got, want int32) error {
+	return fmt.Errorf("dflow: FlowOf[%d] = %d, member of %d", v, got, want)
+}
+func errUnassigned(v uint32) error { return fmt.Errorf("dflow: vertex %d unassigned", v) }
+
+// FlowGraph is the flow-level dependency digraph: an edge f->g exists while
+// at least one graph edge leaves a vertex of flow f into a vertex of flow g.
+// It is the runtime index the paper derives from the backward-triangle
+// D-trees: given an impacted flow, it answers "which other flows can my
+// values reach" without touching graph edges (§V-A).
+//
+// Edge multiplicities are reference counts so incremental deletion works.
+type FlowGraph struct {
+	part *Partition
+	out  []map[int32]int32 // flow -> downstream flow -> #graph edges
+	in   []map[int32]int32 // reverse index, for impact analysis
+}
+
+// NewFlowGraph indexes every cross-flow edge of g under partition part.
+func NewFlowGraph(g *graph.Streaming, part *Partition) *FlowGraph {
+	fg := &FlowGraph{
+		part: part,
+		out:  make([]map[int32]int32, part.NumFlows()),
+		in:   make([]map[int32]int32, part.NumFlows()),
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		src := graph.VertexID(v)
+		for _, h := range g.Out(src) {
+			fg.AddEdge(src, h.To)
+		}
+	}
+	return fg
+}
+
+// AddEdge records graph edge u->v.
+func (fg *FlowGraph) AddEdge(u, v graph.VertexID) {
+	fu, fv := fg.part.Flow(u), fg.part.Flow(v)
+	if fu == fv {
+		return
+	}
+	if fg.out[fu] == nil {
+		fg.out[fu] = make(map[int32]int32)
+	}
+	fg.out[fu][fv]++
+	if fg.in[fv] == nil {
+		fg.in[fv] = make(map[int32]int32)
+	}
+	fg.in[fv][fu]++
+}
+
+// DeleteEdge removes graph edge u->v from the index.
+func (fg *FlowGraph) DeleteEdge(u, v graph.VertexID) {
+	fu, fv := fg.part.Flow(u), fg.part.Flow(v)
+	if fu == fv {
+		return
+	}
+	if m := fg.out[fu]; m != nil {
+		if m[fv]--; m[fv] <= 0 {
+			delete(m, fv)
+		}
+	}
+	if m := fg.in[fv]; m != nil {
+		if m[fu]--; m[fu] <= 0 {
+			delete(m, fu)
+		}
+	}
+}
+
+// NumFlows returns the number of flows.
+func (fg *FlowGraph) NumFlows() int { return len(fg.out) }
+
+// OutFlows calls fn for each flow downstream of f.
+func (fg *FlowGraph) OutFlows(f int32, fn func(g int32)) {
+	for g := range fg.out[f] {
+		fn(g)
+	}
+}
+
+// InFlows calls fn for each flow upstream of f.
+func (fg *FlowGraph) InFlows(f int32, fn func(g int32)) {
+	for g := range fg.in[f] {
+		fn(g)
+	}
+}
+
+// OutDegree returns the number of downstream flows of f.
+func (fg *FlowGraph) OutDegree(f int32) int { return len(fg.out[f]) }
+
+// Reach returns the set of flows reachable from the seeds (seeds included),
+// following downstream edges, capped at limit flows (limit <= 0 means no
+// cap). This is the impacted-flow discovery of §V-A: the flows a batch of
+// updates can possibly influence.
+func (fg *FlowGraph) Reach(seeds []int32, limit int) map[int32]bool {
+	seen := make(map[int32]bool, len(seeds))
+	queue := make([]int32, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		if limit > 0 && len(seen) >= limit {
+			break
+		}
+		f := queue[0]
+		queue = queue[1:]
+		for g := range fg.out[f] {
+			if !seen[g] {
+				seen[g] = true
+				queue = append(queue, g)
+			}
+		}
+	}
+	return seen
+}

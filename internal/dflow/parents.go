@@ -1,0 +1,60 @@
+package dflow
+
+// NewPartitionFromParents extracts dependency-flows from a key-edge
+// dependence forest given as a parent array (parent[v] == -1 for roots).
+// This is the selective-algorithm path of §IV-B: key edges give every
+// vertex at most one parent, so the D-tree is a plain forest and flows are
+// packed subtrees. Children of a root start new flows so independent
+// subtrees (PROPERTY 1) land in different flows; the cap bounds flow size.
+//
+// The function assumes the parent array is acyclic (guaranteed for
+// monotonic algorithms; see internal/etree.KeyForest).
+func NewPartitionFromParents(parent []int32, cap int) *Partition {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	n := len(parent)
+	p := &Partition{
+		FlowOf: make([]int32, n),
+		Cap:    cap,
+	}
+	children := make([][]int32, n)
+	roots := make([]int32, 0, 64)
+	for v, pa := range parent {
+		if pa == -1 {
+			roots = append(roots, int32(v))
+		} else {
+			children[pa] = append(children[pa], int32(v))
+		}
+	}
+	var cur []uint32
+	flush := func() {
+		if len(cur) > 0 {
+			p.Flows = append(p.Flows, cur)
+			cur = nil
+		}
+	}
+	// DFS pack each root's subtree; small subtrees share flows (they are
+	// independent by construction, and dust-sized flows would drown the
+	// scheduler in boundary traffic).
+	stack := make([]int32, 0, 64)
+	for _, r := range roots {
+		stack = append(stack[:0], r)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(cur) >= cap {
+				flush()
+			}
+			cur = append(cur, uint32(v))
+			stack = append(stack, children[v]...)
+		}
+	}
+	flush()
+	for fi, flow := range p.Flows {
+		for _, v := range flow {
+			p.FlowOf[v] = int32(fi)
+		}
+	}
+	return p
+}

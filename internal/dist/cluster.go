@@ -1,0 +1,325 @@
+package dist
+
+import (
+	"repro/internal/algo"
+	"repro/internal/dflow"
+	"repro/internal/etree"
+	"repro/internal/graph"
+)
+
+// Cluster is a functional simulation of the distributed GraphFly protocol
+// of §VI for selective algorithms: a Manager node plus worker nodes that
+// exchange *only messages* about vertex values. Each node owns the
+// authoritative values of the flows placed on it (the flow-worker table)
+// and keeps stale shadow copies of remote values that are refreshed only
+// by incoming messages — exactly the consistency model a shared-nothing
+// deployment has. The graph *structure* is replicated on every node
+// (a documented simplification; the paper also replicates enough structure
+// for local traversal, migrating flow data only for load balance).
+//
+// Safety under staleness: for monotonic algorithms a stale shadow is an
+// over-approximation of the true value, and over-approximations are
+// exactly what trimming already produces, so pulls over shadows stay safe;
+// trim invalidations are broadcast before processing, and a shadow's
+// invalid bit is cleared only by the shadow update that carries the
+// owner's post-refinement value. Candidates pushed by owners eventually
+// deliver every improvement, so the cluster converges to the same fixpoint
+// as the single-machine engine (tested bit-exact).
+//
+// Timing is NOT modeled here — that is Simulate's job; Cluster demonstrates
+// protocol correctness (message routing, ownership, shadow coherence,
+// Manager-coordinated termination).
+type Cluster struct {
+	NumNodes int
+	G        *graph.Streaming
+	Alg      algo.Selective
+
+	part  *dflow.Partition
+	owner []int32 // vertex -> node
+
+	kf     *etree.KeyForest // Manager-side dependence forest
+	parent []int32          // Manager's collected key edges
+
+	nodes []*clusterNode
+
+	// Stats for the batch most recently processed.
+	LastCrossMsgs int64
+	LastRounds    int
+}
+
+type clusterMsg struct {
+	v      uint32
+	val    float64
+	parent int32
+	shadow bool // shadow refresh (apply unconditionally, clear invalid bit)
+}
+
+type clusterNode struct {
+	id      int
+	vals    []float64 // authoritative for owned, shadow otherwise
+	trimmed []bool    // owned: live flag; shadow: cleared by shadow updates
+	parent  []int32   // owned vertices only
+	inbox   []clusterMsg
+	wl      []uint32
+}
+
+// NewCluster partitions the graph's dependency-flows over numNodes worker
+// nodes and runs the initial computation, seeding every node's values and
+// shadows.
+func NewCluster(g *graph.Streaming, alg algo.Selective, numNodes int, flowCap int) *Cluster {
+	if numNodes < 1 {
+		numNodes = 1
+	}
+	vals, parent := algo.SolveSelective(g, alg)
+	c := &Cluster{
+		NumNodes: numNodes,
+		G:        g,
+		Alg:      alg,
+		kf:       etree.NewKeyForest(g.NumVertices()),
+		parent:   parent,
+	}
+	c.partition(flowCap)
+	for n := 0; n < numNodes; n++ {
+		node := &clusterNode{
+			id:      n,
+			vals:    append([]float64(nil), vals...), // initial broadcast
+			trimmed: make([]bool, g.NumVertices()),
+			parent:  append([]int32(nil), parent...),
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c
+}
+
+// partition recomputes flows from the Manager's key forest and places them
+// round-robin by flow (balanced vertex counts; §VI Workload Balancing
+// rebalances on skew, which round-robin over capped flows approximates).
+func (c *Cluster) partition(flowCap int) {
+	c.part = dflow.NewPartitionFromParents(c.parent, flowCap)
+	c.owner = make([]int32, c.G.NumVertices())
+	for f := int32(0); int(f) < c.part.NumFlows(); f++ {
+		n := int32(int(f) % c.NumNodes)
+		for _, v := range c.part.Members(f) {
+			c.owner[v] = n
+		}
+	}
+}
+
+// Values returns the authoritative converged values (collected from the
+// owning nodes).
+func (c *Cluster) Values() []float64 {
+	out := make([]float64, c.G.NumVertices())
+	for v := range out {
+		out[v] = c.nodes[c.owner[v]].vals[v]
+	}
+	return out
+}
+
+// ProcessBatch runs one batch through the distributed protocol:
+// structure replication, Manager trim identification + invalidation
+// broadcast, per-node fused refine/recompute, message routing rounds until
+// global quiescence, and key-edge collection for the next batch.
+func (c *Cluster) ProcessBatch(batch graph.Batch) {
+	if c.Alg.Symmetric() {
+		batch = symmetrize(batch)
+	}
+	applied := c.G.ApplyBatch(batch) // structure replicated everywhere
+
+	// Manager: identify trim sets on the dependence forest and broadcast
+	// invalidations (owned flag + shadow flags on every node).
+	c.kf.BulkLoad(c.parent)
+	var trimmed []uint32
+	for _, u := range applied {
+		if !u.Del || c.parent[u.Dst] != int32(u.Src) {
+			continue
+		}
+		c.kf.Subtree(uint32(u.Dst), func(x uint32) bool {
+			if c.nodes[0].trimmed[x] {
+				return false
+			}
+			for _, n := range c.nodes {
+				n.trimmed[x] = true
+			}
+			c.parent[x] = -1
+			trimmed = append(trimmed, x)
+			return true
+		})
+	}
+	// Owners queue their trimmed vertices for refinement.
+	for _, x := range trimmed {
+		c.nodes[c.owner[x]].wl = append(c.nodes[c.owner[x]].wl, x)
+	}
+	// Additions: the source's owner computes the candidate and routes it
+	// to the target's owner.
+	for _, u := range applied {
+		if u.Del {
+			continue
+		}
+		src := c.nodes[c.owner[u.Src]]
+		if src.trimmed[u.Src] {
+			continue // will push after its own refinement
+		}
+		cand := c.Alg.Propagate(src.vals[u.Src], u.W)
+		c.route(int(c.owner[u.Dst]), clusterMsg{v: uint32(u.Dst), val: cand, parent: int32(u.Src)})
+	}
+
+	// Delivery rounds until quiescence (Manager-coordinated termination).
+	c.LastCrossMsgs = 0
+	c.LastRounds = 0
+	for {
+		busy := false
+		for _, n := range c.nodes {
+			if len(n.inbox) > 0 || len(n.wl) > 0 {
+				busy = true
+				c.processNode(n)
+			}
+		}
+		if !busy {
+			break
+		}
+		c.LastRounds++
+	}
+
+	// Collect key edges for the Manager's next-batch forest and refresh
+	// the placement.
+	for v := range c.parent {
+		c.parent[v] = c.nodes[c.owner[v]].parent[v]
+	}
+	c.partition(c.part.Cap)
+}
+
+// route delivers a message to a node, counting cross-node traffic.
+func (c *Cluster) route(to int, m clusterMsg) {
+	c.nodes[to].inbox = append(c.nodes[to].inbox, m)
+}
+
+// processNode drains a node's inbox and worklist: the per-node fused
+// refine + recompute of the GraphFly protocol, emitting messages for
+// remote targets and shadow refreshes for changed owned vertices.
+func (c *Cluster) processNode(n *clusterNode) {
+	inbox := n.inbox
+	n.inbox = nil
+	for _, m := range inbox {
+		if m.shadow {
+			// Shadow refresh: unconditional overwrite + revalidation. The
+			// key edge rides along so that if ownership migrates at the
+			// next repartition, the new owner reports correct dependence
+			// information to the Manager.
+			n.vals[m.v] = m.val
+			n.parent[m.v] = m.parent
+			n.trimmed[m.v] = false
+			// Re-relax owned out-neighbours of the refreshed shadow; the
+			// key edge of an improved neighbour is the edge FROM the
+			// shadow vertex (m.v), not the shadow's own parent.
+			for _, h := range c.G.Out(graph.VertexID(m.v)) {
+				if c.owner[h.To] == int32(n.id) {
+					cand := c.Alg.Propagate(m.val, h.W)
+					if n.trimmed[h.To] {
+						c.refine(n, uint32(h.To))
+					}
+					if c.Alg.Better(cand, n.vals[h.To]) {
+						c.update(n, uint32(h.To), cand, int32(m.v), int32(m.v))
+					}
+				}
+			}
+			continue
+		}
+		if n.trimmed[m.v] {
+			c.refine(n, m.v)
+		}
+		if c.Alg.Better(m.val, n.vals[m.v]) {
+			c.update(n, m.v, m.val, m.parent, m.parent)
+		}
+	}
+	for head := 0; head < len(n.wl); head++ {
+		v := n.wl[head]
+		if n.trimmed[v] {
+			c.refine(n, v)
+		}
+		uVal := n.vals[v]
+		for _, h := range c.G.Out(graph.VertexID(v)) {
+			cand := c.Alg.Propagate(uVal, h.W)
+			w := uint32(h.To)
+			if c.owner[w] == int32(n.id) {
+				if n.trimmed[w] {
+					c.refine(n, w)
+				}
+				if c.Alg.Better(cand, n.vals[w]) {
+					c.update(n, w, cand, int32(v), int32(v))
+				}
+			} else {
+				// Remote candidate (only if plausibly useful per the
+				// local, possibly stale, shadow).
+				if n.trimmed[w] || c.Alg.Better(cand, n.vals[w]) {
+					c.route(int(c.owner[w]), clusterMsg{v: w, val: cand, parent: int32(v)})
+					c.LastCrossMsgs++
+				}
+			}
+		}
+	}
+	n.wl = n.wl[:0]
+}
+
+// refine resets an owned trimmed vertex from its (possibly stale, always
+// safe) local view and broadcasts the new value as a shadow refresh.
+func (c *Cluster) refine(n *clusterNode, v uint32) {
+	best := c.Alg.Base(graph.VertexID(v))
+	bestParent := int32(-1)
+	for _, h := range c.G.In(graph.VertexID(v)) {
+		if n.trimmed[h.To] {
+			continue
+		}
+		cand := c.Alg.Propagate(n.vals[h.To], h.W)
+		if c.Alg.Better(cand, best) {
+			best = cand
+			bestParent = int32(h.To)
+		}
+	}
+	n.vals[v] = best
+	n.parent[v] = bestParent
+	n.trimmed[v] = false
+	n.wl = append(n.wl, v)
+	c.broadcastShadow(n, v)
+}
+
+// update improves an owned vertex and broadcasts the change.
+func (c *Cluster) update(n *clusterNode, v uint32, val float64, parent, via int32) {
+	_ = via
+	n.vals[v] = val
+	n.parent[v] = parent
+	n.wl = append(n.wl, v)
+	c.broadcastShadow(n, v)
+}
+
+// broadcastShadow refreshes every other node's shadow of v.
+func (c *Cluster) broadcastShadow(n *clusterNode, v uint32) {
+	for _, other := range c.nodes {
+		if other.id == n.id {
+			continue
+		}
+		c.route(other.id, clusterMsg{v: v, val: n.vals[v], parent: n.parent[v], shadow: true})
+		c.LastCrossMsgs++
+	}
+}
+
+func symmetrize(b graph.Batch) graph.Batch {
+	type key struct{ a, b graph.VertexID }
+	seen := make(map[key]bool, len(b))
+	out := make(graph.Batch, 0, 2*len(b))
+	for _, u := range b {
+		a, d := u.Src, u.Dst
+		if a > d {
+			a, d = d, a
+		}
+		k := key{a, d}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out,
+			graph.Update{Edge: graph.Edge{Src: a, Dst: d, W: u.W}, Del: u.Del},
+			graph.Update{Edge: graph.Edge{Src: d, Dst: a, W: u.W}, Del: u.Del},
+		)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func clusterWorkload(seed uint64, batches int) gen.Workload {
+	cfg := gen.TestDataset(seed)
+	cfg.NumV, cfg.NumE = 300, 2000
+	edges := gen.Generate(cfg)
+	return gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.5, DeleteRatio: 0.3, BatchSize: 150,
+		NumBatches: batches, Seed: seed + 1,
+	})
+}
+
+func checkCluster(t *testing.T, alg algo.Selective, nodes int, w gen.Workload) {
+	t.Helper()
+	initial := w.Initial
+	if alg.Symmetric() {
+		var both []graph.Edge
+		for _, e := range initial {
+			both = append(both, e, graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+		}
+		initial = both
+	}
+	g := graph.FromEdges(w.NumV, initial)
+	c := NewCluster(g, alg, nodes, 32)
+	ref := g.Clone()
+	for bi, b := range w.Batches {
+		c.ProcessBatch(b)
+		rb := b
+		if alg.Symmetric() {
+			rb = symmetrize(b)
+		}
+		ref.ApplyBatch(rb)
+		want, _ := algo.SolveSelective(ref, alg)
+		got := c.Values()
+		for v := range want {
+			if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+				t.Fatalf("%s nodes=%d batch %d: vertex %d = %v, want %v",
+					alg.Name(), nodes, bi, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestClusterSSSPMatchesStatic(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4, 7} {
+		checkCluster(t, algo.SSSP{Src: 0}, nodes, clusterWorkload(81, 4))
+	}
+}
+
+func TestClusterBFS(t *testing.T) {
+	checkCluster(t, algo.BFS{Src: 0}, 4, clusterWorkload(82, 3))
+}
+
+func TestClusterCC(t *testing.T) {
+	checkCluster(t, algo.CC{}, 3, clusterWorkload(83, 3))
+}
+
+func TestClusterDeletionHeavy(t *testing.T) {
+	cfg := gen.TestDataset(84)
+	cfg.NumV, cfg.NumE = 200, 1500
+	edges := gen.Generate(cfg)
+	w := gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.7, DeleteRatio: 0.8, BatchSize: 100, NumBatches: 4, Seed: 85,
+	})
+	checkCluster(t, algo.SSSP{Src: 0}, 4, w)
+}
+
+func TestClusterCrossTrafficScalesWithNodes(t *testing.T) {
+	w := clusterWorkload(86, 1)
+	g1 := graph.FromEdges(w.NumV, w.Initial)
+	c1 := NewCluster(g1, algo.SSSP{Src: 0}, 1, 32)
+	c1.ProcessBatch(w.Batches[0])
+	g4 := graph.FromEdges(w.NumV, w.Initial)
+	c4 := NewCluster(g4, algo.SSSP{Src: 0}, 4, 32)
+	c4.ProcessBatch(w.Batches[0])
+	if c1.LastCrossMsgs != 0 {
+		t.Fatalf("single node sent %d cross messages", c1.LastCrossMsgs)
+	}
+	if c4.LastCrossMsgs == 0 && c4.LastRounds == 0 {
+		t.Fatal("4-node cluster reported no distributed activity")
+	}
+}
+
+func TestClusterOwnershipPartition(t *testing.T) {
+	w := clusterWorkload(87, 0)
+	g := graph.FromEdges(w.NumV, w.Initial)
+	c := NewCluster(g, algo.SSSP{Src: 0}, 3, 16)
+	counts := make([]int, 3)
+	for _, o := range c.owner {
+		if o < 0 || o >= 3 {
+			t.Fatalf("invalid owner %d", o)
+		}
+		counts[o]++
+	}
+	for n, cnt := range counts {
+		if cnt == 0 {
+			t.Fatalf("node %d owns nothing: %v", n, counts)
+		}
+	}
+}

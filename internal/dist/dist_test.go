@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func syntheticTrace() *engine.WorkTrace {
+	t := &engine.WorkTrace{
+		FlowWork: map[int32]int64{},
+		FlowMsgs: map[[2]int32]int64{},
+	}
+	for f := int32(0); f < 64; f++ {
+		t.FlowWork[f] = int64(1_000_000 + 100_000*int(f%7))
+	}
+	for f := int32(0); f < 63; f++ {
+		t.FlowMsgs[[2]int32{f, f + 1}] = 50
+	}
+	return t
+}
+
+func TestPlaceCoversAllFlows(t *testing.T) {
+	tr := syntheticTrace()
+	for _, s := range []Strategy{RoundRobin, LPT, LocalityLPT} {
+		pl := Place(tr, 4, s)
+		if len(pl.NodeOf) != len(tr.FlowWork) {
+			t.Fatalf("%v: placed %d of %d flows", s, len(pl.NodeOf), len(tr.FlowWork))
+		}
+		for f, n := range pl.NodeOf {
+			if n < 0 || n >= 4 {
+				t.Fatalf("%v: flow %d on invalid node %d", s, f, n)
+			}
+		}
+	}
+}
+
+func TestLPTBalances(t *testing.T) {
+	tr := syntheticTrace()
+	pl := Place(tr, 4, LPT)
+	load := make([]int64, 4)
+	for f, n := range pl.NodeOf {
+		load[n] += tr.FlowWork[f]
+	}
+	minL, maxL := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if float64(maxL) > 1.2*float64(minL) {
+		t.Fatalf("LPT imbalance: %v", load)
+	}
+}
+
+func TestLocalityReducesCrossMsgs(t *testing.T) {
+	tr := syntheticTrace()
+	cm := DefaultCostModel()
+	rr := Simulate(tr, Place(tr, 4, RoundRobin), cm, false)
+	loc := Simulate(tr, Place(tr, 4, LocalityLPT), cm, false)
+	if loc.CrossMsgs >= rr.CrossMsgs {
+		t.Fatalf("locality placement did not reduce cross messages: %d vs %d",
+			loc.CrossMsgs, rr.CrossMsgs)
+	}
+}
+
+func TestSimulateScalesDown(t *testing.T) {
+	tr := syntheticTrace()
+	cm := DefaultCostModel()
+	times := Sweep(tr, 8, cm, LocalityLPT, true)
+	if times[0] <= times[3] {
+		t.Fatalf("4 nodes not faster than 1: %v", times)
+	}
+	for _, x := range times {
+		if x <= 0 {
+			t.Fatalf("non-positive makespan: %v", times)
+		}
+	}
+}
+
+func TestWorkStealingHelpsOnSkew(t *testing.T) {
+	// One giant flow + many small ones on round-robin placement.
+	tr := &engine.WorkTrace{
+		FlowWork: map[int32]int64{0: 1_000_000},
+		FlowMsgs: map[[2]int32]int64{},
+	}
+	for f := int32(1); f < 32; f++ {
+		tr.FlowWork[f] = 100
+	}
+	cm := DefaultCostModel()
+	pl := Place(tr, 4, RoundRobin)
+	noSteal := Simulate(tr, pl, cm, false)
+	steal := Simulate(tr, pl, cm, true)
+	if steal.MakespanNs >= noSteal.MakespanNs {
+		t.Fatalf("stealing did not help: %v vs %v", steal.MakespanNs, noSteal.MakespanNs)
+	}
+	if steal.StolenWorkNs <= 0 {
+		t.Fatal("no work recorded as stolen")
+	}
+}
+
+func TestSimulateAccountsMessages(t *testing.T) {
+	tr := &engine.WorkTrace{
+		FlowWork: map[int32]int64{0: 10, 1: 10},
+		FlowMsgs: map[[2]int32]int64{{0, 1}: 100},
+	}
+	cm := DefaultCostModel()
+	// Same node: all local.
+	pl := Placement{NodeOf: map[int32]int{0: 0, 1: 0}, Nodes: 2}
+	r := Simulate(tr, pl, cm, false)
+	if r.CrossMsgs != 0 || r.LocalMsgs != 100 {
+		t.Fatalf("same-node messages misclassified: %+v", r)
+	}
+	// Different nodes: all cross, makespan grows.
+	pl2 := Placement{NodeOf: map[int32]int{0: 0, 1: 1}, Nodes: 2}
+	r2 := Simulate(tr, pl2, cm, false)
+	if r2.CrossMsgs != 100 || r2.LocalMsgs != 0 {
+		t.Fatalf("cross-node messages misclassified: %+v", r2)
+	}
+	if r2.MakespanNs <= r.MakespanNs {
+		t.Fatal("communication cost did not raise the makespan")
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	a := &engine.WorkTrace{
+		FlowWork: map[int32]int64{1: 5},
+		FlowMsgs: map[[2]int32]int64{{1, 2}: 3},
+	}
+	b := &engine.WorkTrace{
+		FlowWork: map[int32]int64{1: 7, 2: 1},
+		FlowMsgs: map[[2]int32]int64{{1, 2}: 4},
+	}
+	m := MergeTraces([]*engine.WorkTrace{a, nil, b})
+	if m.FlowWork[1] != 12 || m.FlowWork[2] != 1 {
+		t.Fatalf("work merge wrong: %+v", m.FlowWork)
+	}
+	if m.FlowMsgs[[2]int32{1, 2}] != 7 {
+		t.Fatalf("msg merge wrong: %+v", m.FlowMsgs)
+	}
+}
+
+// End-to-end: drive the real engine with tracing on and verify the
+// distributed sweep produces a sane declining curve (Fig 16's shape).
+func TestEndToEndTraceSweep(t *testing.T) {
+	cfg := gen.TestDataset(61)
+	edges := gen.Generate(cfg)
+	w := gen.BuildWorkload(cfg.NumV, edges, gen.DefaultStream(300, 3, 62))
+	g := graph.FromEdges(w.NumV, w.Initial)
+	e := engine.NewSelective(g, algo.SSSP{Src: 0}, engine.Config{Workers: 2, FlowCap: 64, TraceWork: true})
+	var traces []*engine.WorkTrace
+	for _, b := range w.Batches {
+		st := e.ProcessBatch(b)
+		traces = append(traces, st.Trace)
+	}
+	merged := MergeTraces(traces)
+	if len(merged.FlowWork) == 0 {
+		t.Fatal("engine produced an empty trace")
+	}
+	// Small test graphs carry little compute per message, so use a
+	// compute-heavy cost model (matching the paper's 1M-10M batches where
+	// computation dominates) to expose the scaling shape.
+	cm := DefaultCostModel()
+	cm.EdgeOpNs = 4000
+	times := Sweep(merged, 16, cm, LocalityLPT, true)
+	if times[0] < times[7] {
+		t.Fatalf("8 nodes slower than 1 on a real trace: %v", times)
+	}
+}

@@ -1,0 +1,587 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/cachesim"
+	"repro/internal/dflow"
+	"repro/internal/etree"
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+// Accumulative is the GraphFly engine for aggregation-based algorithms
+// (PageRank, Label Propagation).
+//
+// It maintains the invariant agg(v) = Σ_{u→v} w_uv · lastUnit(u), where
+// lastUnit(u) is the per-weight contribution vector u last broadcast.
+// Refinement adjusts aggregates for the batch's changed edges using the
+// *current* lastUnit (so the invariant survives structural change);
+// recomputation is asynchronous delta-push Gauss–Seidel, executed per
+// dependency-flow with cross-flow dirtiness carried by messages. Because
+// the algorithms are contractions, the asynchronous order converges to the
+// same fixpoint (within epsilon) as GraphBolt's synchronous BSP.
+//
+// Flows come from the structural D-trees of the forward triangle with
+// hyper vertices (§IV), maintained incrementally as the graph mutates.
+type Accumulative struct {
+	G   *graph.Streaming
+	Alg algo.Accumulative
+	cfg Config
+
+	dim      int
+	state    *layout.Store
+	agg      *layout.Store
+	lastUnit *layout.Store
+	outW     []float64
+
+	dirty    *flags // state must be recomputed from agg
+	needPush *flags // contribution broadcast is stale
+
+	forest *etree.Forest
+	part   *dflow.Partition
+	fg     *dflow.FlowGraph
+
+	probe    cachesim.Probe
+	profiled bool
+	outIdx   *layout.EdgeIndex
+
+	batches int
+
+	unitsMu sync.Mutex
+	units   []*unit
+	unitOf  []int32
+	inboxes []inbox[[]uint32]
+	seeds   [][]uint32 // per-flow seed vertices for the current batch
+	pl      *pool
+
+	pushes    atomic.Int64
+	crossMsgs atomic.Int64
+
+	trace   *WorkTrace
+	traceMu sync.Mutex
+}
+
+// NewAccumulative builds the engine over g and converges the initial graph.
+func NewAccumulative(g *graph.Streaming, alg algo.Accumulative, cfg Config) *Accumulative {
+	e := &Accumulative{
+		G:     g,
+		Alg:   alg,
+		cfg:   cfg,
+		dim:   alg.Dim(),
+		probe: cfg.probe(),
+	}
+	_, e.profiled = e.probe.(*cachesim.Sim)
+	n := g.NumVertices()
+	e.outW = make([]float64, n)
+	for v := 0; v < n; v++ {
+		for _, h := range g.Out(graph.VertexID(v)) {
+			e.outW[v] += h.W
+		}
+	}
+	e.dirty = newFlags(n)
+	e.needPush = newFlags(n)
+	dir := etree.Forward
+	if cfg.BackwardFlows {
+		dir = etree.Backward
+	}
+	e.forest = etree.NewForest(g, dir)
+	e.repartition()
+
+	// Initial convergence through the engine itself: state = base,
+	// aggregates and broadcasts zero, every vertex must push.
+	buf := make([]float64, e.dim)
+	for v := 0; v < n; v++ {
+		e.Alg.Base(graph.VertexID(v), buf)
+		e.state.SetVec(uint32(v), buf)
+		e.needPush.set(uint32(v))
+	}
+	impacted := make(map[int32]bool)
+	e.seeds = make([][]uint32, e.part.NumFlows())
+	for v := 0; v < n; v++ {
+		f := e.part.Flow(graph.VertexID(v))
+		e.seeds[f] = append(e.seeds[f], uint32(v))
+		impacted[f] = true
+	}
+	e.converge(impacted)
+	return e
+}
+
+func (e *Accumulative) repartition() {
+	e.part = dflow.NewPartition(e.forest, e.cfg.FlowCap)
+	e.fg = dflow.NewFlowGraph(e.G, e.part)
+	mk := func() *layout.Store {
+		if e.cfg.ScatteredStorage {
+			return layout.NewScatteredStore(e.G.NumVertices(), e.dim)
+		}
+		return layout.NewFlowStore(e.part, e.dim)
+	}
+	migrate := func(old *layout.Store) *layout.Store {
+		s := mk()
+		if old != nil {
+			buf := make([]float64, e.dim)
+			for v := 0; v < e.G.NumVertices(); v++ {
+				old.GetVec(uint32(v), buf)
+				s.SetVec(uint32(v), buf)
+			}
+		}
+		return s
+	}
+	e.state = migrate(e.state)
+	e.agg = migrate(e.agg)
+	e.lastUnit = migrate(e.lastUnit)
+	e.refreshEdgeIndex()
+}
+
+func (e *Accumulative) refreshEdgeIndex() {
+	if !e.profiled {
+		return
+	}
+	e.outIdx = layout.NewEdgeIndex(e.G, e.part, !e.cfg.ScatteredStorage)
+}
+
+// State copies v's state vector into a fresh slice.
+func (e *Accumulative) State(v graph.VertexID) []float64 {
+	return e.state.GetVec(uint32(v), make([]float64, e.dim))
+}
+
+// Values returns all states row-major (vertex v at [v*Dim:(v+1)*Dim]),
+// matching algo.SolveAccumulative's shape.
+func (e *Accumulative) Values() []float64 {
+	n := e.G.NumVertices()
+	out := make([]float64, n*e.dim)
+	for v := 0; v < n; v++ {
+		e.state.GetVec(uint32(v), out[v*e.dim:(v+1)*e.dim])
+	}
+	return out
+}
+
+// Partition exposes the current dependency-flow partition.
+func (e *Accumulative) Partition() *dflow.Partition { return e.part }
+
+// Forest exposes the structural D-tree forest.
+func (e *Accumulative) Forest() *etree.Forest { return e.forest }
+
+// ProcessBatch applies one batch and incrementally reconverges.
+func (e *Accumulative) ProcessBatch(batch graph.Batch) BatchStats {
+	var st BatchStats
+	t0 := time.Now()
+	e.probe.BeginBatch()
+	if e.Alg.Symmetric() {
+		batch = Symmetrize(batch)
+	}
+	if e.cfg.TraceWork {
+		e.trace = newWorkTrace()
+		st.Trace = e.trace
+	} else {
+		e.trace = nil
+	}
+
+	tApply := time.Now()
+	applied := e.G.ApplyBatchParallel(batch, e.cfg.workers())
+	st.Applied = len(applied)
+	st.ApplyTime = time.Since(tApply)
+
+	// D-tree and index maintenance (Fig 15b measures this span):
+	// incremental O(1)-amortized per update, with a lazy rebuild when
+	// enough deletions have accumulated (hyper-vertex separation, §IV-C).
+	tMaint := time.Now()
+	e.batches++
+	for _, u := range applied {
+		if u.Del {
+			e.forest.DeleteEdge(e.G, u.Src, u.Dst)
+		} else {
+			e.forest.AddEdge(u.Src, u.Dst)
+		}
+	}
+	st.DtreeTime = time.Since(tMaint)
+	rebuilt := e.forest.RebuildIfDirty(e.G, 0.2)
+	if rebuilt || e.batches%e.cfg.repartitionEvery() == 0 {
+		e.repartition()
+	} else {
+		for _, u := range applied {
+			if u.Del {
+				e.fg.DeleteEdge(u.Src, u.Dst)
+			} else {
+				e.fg.AddEdge(u.Src, u.Dst)
+			}
+		}
+		e.refreshEdgeIndex()
+	}
+	for _, u := range applied {
+		if u.Del {
+			e.outW[u.Src] -= u.W
+			if e.outW[u.Src] < 0 {
+				e.outW[u.Src] = 0
+			}
+		} else {
+			e.outW[u.Src] += u.W
+		}
+	}
+	st.MaintainTime = time.Since(tMaint)
+
+	// Refinement: adjust the aggregates of changed edges with the current
+	// broadcasts so the invariant holds on the new topology (the paper's
+	// refine phase; GraphFly needs no barrier after it because each flow's
+	// recomputation starts from a consistent aggregate).
+	tTrim := time.Now()
+	e.probe.SetPhase(cachesim.PhaseRefine)
+	nf := e.part.NumFlows()
+	if cap(e.seeds) < nf {
+		e.seeds = make([][]uint32, nf)
+	}
+	e.seeds = e.seeds[:nf]
+	for i := range e.seeds {
+		e.seeds[i] = e.seeds[i][:0]
+	}
+	impacted := make(map[int32]bool)
+	seed := func(v uint32) {
+		f := e.part.Flow(v)
+		e.seeds[f] = append(e.seeds[f], v)
+		impacted[f] = true
+	}
+	unit := make([]float64, e.dim)
+	for _, u := range applied {
+		e.lastUnit.GetVec(uint32(u.Src), unit)
+		sign := 1.0
+		if u.Del {
+			sign = -1
+		}
+		if e.profiled {
+			e.probe.Access(e.agg.Addr(uint32(u.Dst)), true, cachesim.ClassVertex)
+			e.probe.Access(e.lastUnit.Addr(uint32(u.Src)), false, cachesim.ClassVertex)
+		}
+		for d := 0; d < e.dim; d++ {
+			if unit[d] != 0 {
+				e.agg.AddAt(uint32(u.Dst), d, sign*u.W*unit[d])
+			}
+		}
+		if !e.dirty.swapSet(uint32(u.Dst)) {
+			seed(uint32(u.Dst))
+		}
+		// The source's out-weight changed: its broadcast is stale.
+		if !e.needPush.swapSet(uint32(u.Src)) {
+			seed(uint32(u.Src))
+		}
+		st.Trimmed++
+	}
+	st.TrimTime = time.Since(tTrim)
+
+	tComp := time.Now()
+	st.Impacted = len(impacted)
+	units, levels := e.converge(impacted)
+	st.Units = units
+	st.Levels = levels
+	st.ComputeTime = time.Since(tComp)
+	st.Relaxations = e.pushes.Load()
+	st.CrossMsgs = e.crossMsgs.Load()
+	st.Total = time.Since(t0)
+	return st
+}
+
+// converge schedules the impacted flows and runs delta-push to quiescence.
+// It returns the number of scheduled units and levels.
+func (e *Accumulative) converge(impacted map[int32]bool) (int, int) {
+	var groups []dflow.Group
+	if e.cfg.NoSCCMerge {
+		for f := range impacted {
+			groups = append(groups, dflow.Group{Flows: []int32{f}})
+		}
+	} else {
+		groups = dflow.Schedule(e.fg, impacted)
+	}
+	maxLevel := 0
+	for _, g := range groups {
+		if g.Level > maxLevel {
+			maxLevel = g.Level
+		}
+	}
+	nf := e.part.NumFlows()
+	e.units = e.units[:0]
+	if cap(e.unitOf) < nf {
+		e.unitOf = make([]int32, nf)
+	}
+	e.unitOf = e.unitOf[:nf]
+	for i := range e.unitOf {
+		e.unitOf[i] = -1
+	}
+	// One unit per flow, carrying its group's schedule level: the SCC
+	// condensation decides *order* (space-time co-scheduling) while flows
+	// keep executing concurrently — merging a cyclic group into a single
+	// serial unit would forfeit the vertex-level parallelism §VI calls for,
+	// and the delta-push protocol is correct under any interleaving.
+	for _, grp := range groups {
+		for _, f := range grp.Flows {
+			u := &unit{id: int32(len(e.units)), flows: []int32{f}, level: grp.Level}
+			e.units = append(e.units, u)
+			e.unitOf[f] = u.id
+		}
+	}
+	if cap(e.inboxes) < nf {
+		e.inboxes = make([]inbox[[]uint32], nf)
+	}
+	e.inboxes = e.inboxes[:nf]
+	for i := range e.inboxes {
+		e.inboxes[i].msgs = e.inboxes[i].msgs[:0]
+	}
+	e.pl = newPool()
+	e.pushes.Store(0)
+	e.crossMsgs.Store(0)
+
+	e.unitsMu.Lock()
+	for _, u := range e.units {
+		e.pl.activate(u)
+	}
+	e.unitsMu.Unlock()
+
+	// Config.TwoPhase has no extra effect here: aggregate refinement
+	// already completes under the manager before recomputation starts, so
+	// the faithful barrier-per-superstep baseline is internal/graphbolt.
+	workerPool := make([]*accWorker, e.cfg.workers())
+	var batchBufs = make([][][]uint32, e.cfg.workers())
+	e.pl.run(e.cfg.workers(), func(w int, u *unit) {
+		if workerPool[w] == nil {
+			workerPool[w] = e.newWorker()
+		}
+		batchBufs[w] = workerPool[w].processUnit(u, batchBufs[w])
+	})
+	return len(groups), maxLevel + 1
+}
+
+func (e *Accumulative) activateFlow(f int32, level int) {
+	var u *unit
+	if ui := atomic.LoadInt32(&e.unitOf[f]); ui != -1 {
+		e.unitsMu.Lock()
+		u = e.units[ui]
+		e.unitsMu.Unlock()
+	} else {
+		e.unitsMu.Lock()
+		if ui := e.unitOf[f]; ui != -1 {
+			u = e.units[ui]
+		} else {
+			u = &unit{id: int32(len(e.units)), flows: []int32{f}, level: level}
+			e.units = append(e.units, u)
+			atomic.StoreInt32(&e.unitOf[f], u.id)
+		}
+		e.unitsMu.Unlock()
+	}
+	e.pl.activate(u)
+}
+
+type accWorker struct {
+	e       *Accumulative
+	probe   cachesim.Probe
+	wl      []uint32
+	next    []uint32
+	pushers []uint32
+	buf     []uint32
+	base    []float64
+	newSt   []float64
+	oldSt   []float64
+	newU    []float64
+	oldU    []float64
+	aggBuf  []float64
+
+	// pending batches outgoing cross-flow notifications per target flow;
+	// flushed once per drain iteration so one inbox lock and one pool
+	// activation cover many vertices instead of paying both per edge.
+	pending map[int32][]uint32
+	level   int
+}
+
+func (e *Accumulative) newWorker() *accWorker {
+	return &accWorker{
+		e:       e,
+		probe:   e.probe.Fork(),
+		base:    make([]float64, e.dim),
+		newSt:   make([]float64, e.dim),
+		oldSt:   make([]float64, e.dim),
+		newU:    make([]float64, e.dim),
+		oldU:    make([]float64, e.dim),
+		aggBuf:  make([]float64, e.dim),
+		pending: make(map[int32][]uint32),
+	}
+}
+
+// flush delivers the batched cross-flow notifications.
+func (aw *accWorker) flush() {
+	e := aw.e
+	for tf, vs := range aw.pending {
+		if len(vs) == 0 {
+			continue
+		}
+		e.inboxes[tf].put(vs)
+		delete(aw.pending, tf) // hand ownership of the slice to the inbox
+		e.activateFlow(tf, aw.level+1)
+	}
+}
+
+// roundsPerActivation bounds how many local rounds a unit runs before
+// yielding. Converging a flow fully against stale boundary aggregates
+// wastes pushes (its neighbours' deltas arrive later and force local
+// re-convergence); yielding after a few rounds interleaves flows into an
+// approximately global round order while keeping all processing flow-local.
+const roundsPerActivation = 2
+
+func (aw *accWorker) processUnit(u *unit, batches [][]uint32) [][]uint32 {
+	e := aw.e
+	aw.probe.SetPhase(cachesim.PhaseRecompute)
+	aw.level = u.level
+	inUnit := func(f int32) bool {
+		return atomic.LoadInt32(&e.unitOf[f]) == u.id
+	}
+	// Worklist carried over from a previous activation, then the seed
+	// vertices queued by the manager for this batch.
+	aw.wl = append(aw.wl, u.carry...)
+	u.carry = u.carry[:0]
+	for _, f := range u.flows {
+		if len(e.seeds[f]) > 0 {
+			aw.wl = append(aw.wl, e.seeds[f]...)
+			e.seeds[f] = e.seeds[f][:0]
+		}
+	}
+	for {
+		progressed := false
+		for _, f := range u.flows {
+			batches = e.inboxes[f].drain(batches)
+			for _, bt := range batches {
+				if len(bt) > 0 {
+					progressed = true
+					aw.wl = append(aw.wl, bt...)
+				}
+			}
+		}
+		// Round-structured local convergence with two sub-phases per round
+		// (recompute all states, then broadcast all deltas): a vertex folds
+		// every delta of the round into its aggregate before pushing once —
+		// a BSP superstep's work discipline, private to this flow, with no
+		// global barrier.
+		rounds := 0
+		for len(aw.wl) > 0 {
+			progressed = true
+			if rounds >= roundsPerActivation {
+				// Yield: park the remaining worklist on the unit, hand the
+				// pool a re-activation, and let sibling flows catch up.
+				u.carry = append(u.carry[:0], aw.wl...)
+				aw.wl = aw.wl[:0]
+				aw.flush()
+				e.pl.activate(u)
+				return batches
+			}
+			rounds++
+			round := aw.wl
+			aw.wl = aw.next[:0]
+			aw.pushers = aw.pushers[:0]
+			for _, v := range round {
+				if aw.recomputeVertex(v) {
+					aw.pushers = append(aw.pushers, v)
+				}
+			}
+			for _, v := range aw.pushers {
+				aw.pushVertex(v, u, inUnit)
+			}
+			aw.next = round[:0]
+		}
+		// Deliver batched cross-flow notifications before (possibly) going
+		// idle, so the pool's quiescence detection stays sound.
+		aw.flush()
+		if !progressed {
+			return batches
+		}
+	}
+}
+
+// recomputeVertex re-derives v's state from its aggregate (first sub-phase
+// of a round) and reports whether v's contribution must be re-broadcast.
+func (aw *accWorker) recomputeVertex(v uint32) bool {
+	e := aw.e
+	if e.dirty.get(v) {
+		e.dirty.clear(v)
+		if e.profiled {
+			aw.probe.Access(e.agg.Addr(v), false, cachesim.ClassVertex)
+			aw.probe.Access(e.state.Addr(v), true, cachesim.ClassVertex)
+		}
+		e.Alg.Base(graph.VertexID(v), aw.base)
+		e.agg.GetVec(v, aw.aggBuf)
+		e.state.GetVec(v, aw.oldSt)
+		e.Alg.Update(aw.base, aw.aggBuf, aw.newSt)
+		maxDelta := 0.0
+		for d := 0; d < e.dim; d++ {
+			if dd := math.Abs(aw.newSt[d] - aw.oldSt[d]); dd > maxDelta {
+				maxDelta = dd
+			}
+		}
+		e.state.SetVec(v, aw.newSt)
+		if maxDelta > e.Alg.Epsilon() {
+			e.needPush.set(v)
+		}
+	}
+	if !e.needPush.get(v) {
+		return false
+	}
+	e.needPush.clear(v)
+	return true
+}
+
+// pushVertex broadcasts v's contribution delta over its out-edges (second
+// sub-phase of a round).
+func (aw *accWorker) pushVertex(v uint32, u *unit, inUnit func(int32) bool) {
+	e := aw.e
+	if e.profiled {
+		aw.probe.Access(e.state.Addr(v), false, cachesim.ClassVertex)
+		aw.probe.Access(e.lastUnit.Addr(v), true, cachesim.ClassVertex)
+	}
+	e.state.GetVec(v, aw.newSt)
+	e.Alg.Unit(aw.newSt, e.outW[v], aw.newU)
+	e.lastUnit.GetVec(v, aw.oldU)
+	changed := false
+	for d := 0; d < e.dim; d++ {
+		if aw.newU[d] != aw.oldU[d] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return
+	}
+	e.lastUnit.SetVec(v, aw.newU)
+	out := e.G.Out(graph.VertexID(v))
+	e.pushes.Add(int64(len(out)))
+	if e.trace != nil {
+		e.traceMu.Lock()
+		e.trace.FlowWork[e.part.Flow(v)] += int64(len(out))
+		e.traceMu.Unlock()
+	}
+	for i, h := range out {
+		if e.profiled {
+			aw.probe.Access(e.outIdx.Addr(v, i), false, cachesim.ClassEdge)
+			aw.probe.Access(e.agg.Addr(uint32(h.To)), true, cachesim.ClassVertex)
+		}
+		w := uint32(h.To)
+		for d := 0; d < e.dim; d++ {
+			delta := h.W * (aw.newU[d] - aw.oldU[d])
+			if delta != 0 {
+				e.agg.AddAt(w, d, delta)
+			}
+		}
+		if e.dirty.swapSet(w) {
+			continue // already queued somewhere
+		}
+		tf := e.part.Flow(h.To)
+		if inUnit(tf) {
+			aw.wl = append(aw.wl, w)
+		} else {
+			aw.pending[tf] = append(aw.pending[tf], w)
+			e.crossMsgs.Add(1)
+			if e.trace != nil {
+				e.traceMu.Lock()
+				e.trace.FlowMsgs[[2]int32{e.part.Flow(v), tf}]++
+				e.traceMu.Unlock()
+			}
+		}
+	}
+}

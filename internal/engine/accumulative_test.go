@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/cachesim"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// accTolerance bounds the allowed divergence between the asynchronous
+// engine and the synchronous reference solver; both stop within epsilon of
+// the unique fixpoint, so the gap is a small multiple of epsilon scaled by
+// the contraction factor.
+const accTolerance = 1e-5
+
+func checkAccAgainstStatic(t *testing.T, mkAlg func(w gen.Workload) algo.Accumulative, cfg Config, w gen.Workload) {
+	t.Helper()
+	g := graph.FromEdges(w.NumV, w.Initial)
+	alg := mkAlg(w)
+	e := NewAccumulative(g, alg, cfg)
+	ref := g.Clone()
+
+	// Initial convergence must already match.
+	want := algo.SolveAccumulative(ref, alg)
+	compare(t, alg.Name(), -1, e.Values(), want)
+
+	for bi, b := range w.Batches {
+		e.ProcessBatch(b)
+		ref.ApplyBatch(b)
+		want = algo.SolveAccumulative(ref, alg)
+		compare(t, alg.Name(), bi, e.Values(), want)
+	}
+}
+
+func compare(t *testing.T, name string, batch int, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s batch %d: dims differ %d vs %d", name, batch, len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > accTolerance {
+			t.Fatalf("%s batch %d: component %d = %v, want %v (|Δ|=%g)",
+				name, batch, i, got[i], want[i], math.Abs(got[i]-want[i]))
+		}
+	}
+}
+
+func prAlg(w gen.Workload) algo.Accumulative { return algo.NewPageRank(w.NumV) }
+
+func lpAlg(w gen.Workload) algo.Accumulative {
+	seeds := map[graph.VertexID]int{}
+	for i := 0; i < 8; i++ {
+		seeds[graph.VertexID(i*17%w.NumV)] = i % 4
+	}
+	return algo.NewLabelPropagation(4, seeds)
+}
+
+func accWorkload(seed uint64, batches int) gen.Workload {
+	cfg := gen.TestDataset(seed)
+	cfg.NumV, cfg.NumE = 256, 1500
+	edges := gen.Generate(cfg)
+	return gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.5, DeleteRatio: 0.3, BatchSize: 120,
+		NumBatches: batches, Seed: seed + 2,
+	})
+}
+
+func TestAccumulativePageRankMatchesStatic(t *testing.T) {
+	checkAccAgainstStatic(t, prAlg, Config{Workers: 4, FlowCap: 32}, accWorkload(21, 5))
+}
+
+func TestAccumulativeLPMatchesStatic(t *testing.T) {
+	checkAccAgainstStatic(t, lpAlg, Config{Workers: 4, FlowCap: 32}, accWorkload(22, 4))
+}
+
+func TestAccumulativeSingleWorker(t *testing.T) {
+	checkAccAgainstStatic(t, prAlg, Config{Workers: 1, FlowCap: 16}, accWorkload(23, 3))
+}
+
+func TestAccumulativeScatteredAblation(t *testing.T) {
+	checkAccAgainstStatic(t, prAlg, Config{Workers: 4, FlowCap: 32, ScatteredStorage: true}, accWorkload(24, 3))
+}
+
+func TestAccumulativeNoSCCMerge(t *testing.T) {
+	checkAccAgainstStatic(t, prAlg, Config{Workers: 4, FlowCap: 32, NoSCCMerge: true}, accWorkload(25, 3))
+}
+
+func TestAccumulativeRepartitionEveryBatch(t *testing.T) {
+	checkAccAgainstStatic(t, prAlg, Config{Workers: 4, FlowCap: 32, RepartitionEvery: 1}, accWorkload(26, 3))
+}
+
+func TestAccumulativeProfiled(t *testing.T) {
+	sim := cachesim.NewSim(cachesim.DefaultConfig())
+	checkAccAgainstStatic(t, prAlg, Config{Workers: 2, FlowCap: 32, Probe: sim}, accWorkload(27, 2))
+	if sim.Drain().Total() == 0 {
+		t.Fatal("profiled accumulative run recorded no accesses")
+	}
+}
+
+func TestAccumulativeDeletionHeavy(t *testing.T) {
+	cfg := gen.TestDataset(28)
+	cfg.NumV, cfg.NumE = 200, 1200
+	edges := gen.Generate(cfg)
+	w := gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.7, DeleteRatio: 0.8, BatchSize: 100, NumBatches: 4, Seed: 29,
+	})
+	checkAccAgainstStatic(t, prAlg, Config{Workers: 4, FlowCap: 32}, w)
+}
+
+func TestAccumulativeStats(t *testing.T) {
+	w := accWorkload(30, 1)
+	g := graph.FromEdges(w.NumV, w.Initial)
+	e := NewAccumulative(g, algo.NewPageRank(w.NumV), Config{Workers: 2, FlowCap: 32, TraceWork: true})
+	st := e.ProcessBatch(w.Batches[0])
+	if st.Applied == 0 || st.Trace == nil || st.Total <= 0 {
+		t.Fatalf("stats incomplete: %+v", st)
+	}
+	if st.Relaxations == 0 {
+		t.Fatal("no pushes recorded for a non-trivial batch")
+	}
+}
+
+func TestAccumulativeBackwardFlows(t *testing.T) {
+	// §V-A Discussion: swapping the triangles' roles must not change the
+	// fixpoint, only the flow structure.
+	checkAccAgainstStatic(t, prAlg, Config{Workers: 4, FlowCap: 32, BackwardFlows: true}, accWorkload(31, 3))
+}

@@ -1,0 +1,152 @@
+// Package engine implements GraphFly itself (the paper's core
+// contribution): the Manager/Worker runtime of Fig 9-10 that processes a
+// batch of edge updates by (1) maintaining the D-trees and dependency-flow
+// partition, (2) identifying trim sets at tree-node cost before refinement,
+// (3) scheduling impacted flows in space-time order with cyclic groups
+// merged, and (4) letting each flow fuse its refinement with its
+// recomputation and exchange cross-flow influence through messages — no
+// global barrier between the two phases.
+//
+// Two engines share the runtime: Selective (SSSP/SSWP/BFS/CC, key-edge
+// D-trees, trimming) and Accumulative (PageRank/LP, structural D-trees,
+// delta-push aggregation).
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/graph"
+)
+
+// Config controls a GraphFly engine instance. The zero value is usable:
+// all workers, default flow cap, no profiling, fully asynchronous.
+type Config struct {
+	// Workers is the number of worker goroutines (GOMAXPROCS if <= 0).
+	Workers int
+	// FlowCap caps dependency-flow size (dflow.DefaultCap if <= 0).
+	FlowCap int
+	// Probe receives instrumented memory accesses (cachesim.Nop if nil).
+	Probe cachesim.Probe
+	// ScatteredStorage disables the specialized flow-blocked layout
+	// (the "GraphFly-w/o-SSF" ablation of Fig 13).
+	ScatteredStorage bool
+	// TwoPhase inserts a global barrier between refinement and
+	// recomputation (the execution-model ablation: what GraphFly removes).
+	TwoPhase bool
+	// NoSCCMerge schedules every impacted flow independently instead of
+	// merging cyclic groups; correctness is preserved by the trimmed-bit
+	// protocol, locality may suffer (ablation).
+	NoSCCMerge bool
+	// RepartitionEvery rebuilds flows from the current D-trees every K
+	// batches (default 8). 1 = repartition each batch.
+	RepartitionEvery int
+	// BackwardFlows swaps the roles of the two triangles (§V-A Discussion):
+	// the backward-triangle D-trees partition the graph into flows and the
+	// forward triangle constrains execution order. Useful when most edges
+	// live in the upper triangle. Accumulative engine only.
+	BackwardFlows bool
+	// TraceWork records per-flow work and cross-flow message volume for
+	// the distributed simulation (small overhead).
+	TraceWork bool
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) probe() cachesim.Probe {
+	if c.Probe == nil {
+		return cachesim.Nop{}
+	}
+	return c.Probe
+}
+
+func (c Config) repartitionEvery() int {
+	if c.RepartitionEvery <= 0 {
+		return 8
+	}
+	return c.RepartitionEvery
+}
+
+// BatchStats reports what one ProcessBatch did.
+type BatchStats struct {
+	Applied      int // updates that took effect
+	TrimRoots    int // deletions that killed a key edge
+	Trimmed      int // vertices invalidated by trimming
+	Impacted     int // flows seeded with work
+	Units        int // scheduling units (cyclic groups merged)
+	Levels       int // depth of the space-time schedule
+	CrossMsgs    int64
+	Relaxations  int64 // edge relaxations / delta pushes
+	Pulls        int64 // refinement pulls
+	ApplyTime    time.Duration
+	MaintainTime time.Duration // D-tree + flow index maintenance (total)
+	DtreeTime    time.Duration // D-tree incremental maintenance only
+	TrimTime     time.Duration
+	ScheduleTime time.Duration
+	ComputeTime  time.Duration
+	Total        time.Duration
+
+	// Trace is non-nil when Config.TraceWork is set.
+	Trace *WorkTrace
+}
+
+// WorkTrace captures where the work happened, for the distributed
+// cost-model simulation (Fig 16).
+type WorkTrace struct {
+	// FlowWork is per-flow work in edge-operations.
+	FlowWork map[int32]int64
+	// FlowMsgs counts cross-flow messages by (src,dst) flow pair.
+	FlowMsgs map[[2]int32]int64
+}
+
+func newWorkTrace() *WorkTrace {
+	return &WorkTrace{
+		FlowWork: make(map[int32]int64),
+		FlowMsgs: make(map[[2]int32]int64),
+	}
+}
+
+// flags is an atomic per-vertex flag array (one word per vertex: simple and
+// contention-free at our scales).
+type flags struct{ w []uint32 }
+
+func newFlags(n int) *flags { return &flags{w: make([]uint32, n)} }
+
+func (f *flags) get(v uint32) bool { return atomic.LoadUint32(&f.w[v]) != 0 }
+func (f *flags) set(v uint32)      { atomic.StoreUint32(&f.w[v], 1) }
+func (f *flags) clear(v uint32)    { atomic.StoreUint32(&f.w[v], 0) }
+func (f *flags) swapSet(v uint32) bool {
+	return atomic.SwapUint32(&f.w[v], 1) != 0 // reports previously set
+}
+
+// Symmetrize expands a batch for undirected algorithms: each update is
+// canonicalized to its (min,max) pair, deduplicated, and emitted in both
+// directions so the directed graph faithfully models an undirected one.
+func Symmetrize(b graph.Batch) graph.Batch {
+	type key struct{ a, b graph.VertexID }
+	seen := make(map[key]bool, len(b))
+	out := make(graph.Batch, 0, 2*len(b))
+	for _, u := range b {
+		a, c := u.Src, u.Dst
+		if a > c {
+			a, c = c, a
+		}
+		k := key{a, c}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out,
+			graph.Update{Edge: graph.Edge{Src: a, Dst: c, W: u.W}, Del: u.Del},
+			graph.Update{Edge: graph.Edge{Src: c, Dst: a, W: u.W}, Del: u.Del},
+		)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
+
+// The pool runs scheduling units (single flows or merged cyclic groups)
+// with level-priority ordering and quiescence detection: workers prefer
+// units from earlier schedule levels (the space-time order), units
+// re-activated by incoming cross-flow messages are re-queued, and the pool
+// returns when no unit is queued, running, or pending.
+//
+// Correctness never depends on the priority order (the trimmed-bit and
+// delta-push protocols tolerate any interleaving); the order is the paper's
+// cache-efficiency lever.
+
+const (
+	unitIdle int32 = iota
+	unitQueued
+	unitRunning
+	unitPending // running, with new work arrived
+)
+
+// unit is one scheduling unit.
+type unit struct {
+	id    int32
+	flows []int32
+	level int
+	seq   int64 // FIFO tie-break within a level
+	state atomic.Int32
+
+	// carry holds worklist items preserved across activations when the
+	// unit yields mid-convergence (bounded rounds per activation). Only the
+	// unit's current runner touches it, so no lock is needed.
+	carry []uint32
+}
+
+type unitHeap []*unit
+
+func (h unitHeap) Len() int { return len(h) }
+func (h unitHeap) Less(i, j int) bool {
+	if h[i].level != h[j].level {
+		return h[i].level < h[j].level
+	}
+	return h[i].seq < h[j].seq
+}
+func (h unitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *unitHeap) Push(x interface{}) { *h = append(*h, x.(*unit)) }
+func (h *unitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	u := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return u
+}
+
+type pool struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       unitHeap
+	outstanding int // units not idle
+	seq         int64
+}
+
+func newPool() *pool {
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// activate queues u if idle, or flags it pending if running. Safe from any
+// goroutine, including workers mid-unit.
+func (p *pool) activate(u *unit) {
+	for {
+		switch s := u.state.Load(); s {
+		case unitIdle:
+			if u.state.CompareAndSwap(unitIdle, unitQueued) {
+				p.mu.Lock()
+				p.seq++
+				u.seq = p.seq
+				heap.Push(&p.queue, u)
+				p.outstanding++
+				p.mu.Unlock()
+				p.cond.Signal()
+				return
+			}
+		case unitQueued, unitPending:
+			return
+		case unitRunning:
+			if u.state.CompareAndSwap(unitRunning, unitPending) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// run processes units with the given number of workers until quiescent.
+// fn must process one unit completely (drain its inboxes and worklists).
+func (p *pool) run(workers int, fn func(w int, u *unit)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				p.mu.Lock()
+				for len(p.queue) == 0 && p.outstanding > 0 {
+					p.cond.Wait()
+				}
+				if len(p.queue) == 0 {
+					// outstanding == 0: globally quiescent.
+					p.mu.Unlock()
+					p.cond.Broadcast()
+					return
+				}
+				u := heap.Pop(&p.queue).(*unit)
+				p.mu.Unlock()
+
+				u.state.Store(unitRunning)
+				fn(w, u)
+
+				// Close out the unit; re-queue if messages arrived while
+				// running.
+				if u.state.CompareAndSwap(unitRunning, unitIdle) {
+					p.mu.Lock()
+					p.outstanding--
+					done := p.outstanding == 0
+					p.mu.Unlock()
+					if done {
+						p.cond.Broadcast()
+					}
+					continue
+				}
+				// Pending: put it back, unit stays outstanding.
+				u.state.Store(unitQueued)
+				p.mu.Lock()
+				p.seq++
+				u.seq = p.seq
+				heap.Push(&p.queue, u)
+				p.mu.Unlock()
+				p.cond.Signal()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// inbox is a per-flow mailbox. Senders append under the lock; the owning
+// unit drains it during processing.
+type inbox[T any] struct {
+	mu   sync.Mutex
+	msgs []T
+}
+
+func (b *inbox[T]) put(m T) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.mu.Unlock()
+}
+
+func (b *inbox[T]) drain(buf []T) []T {
+	b.mu.Lock()
+	buf = append(buf[:0], b.msgs...)
+	b.msgs = b.msgs[:0]
+	b.mu.Unlock()
+	return buf
+}
+
+func (b *inbox[T]) empty() bool {
+	b.mu.Lock()
+	e := len(b.msgs) == 0
+	b.mu.Unlock()
+	return e
+}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryActivatedUnit(t *testing.T) {
+	p := newPool()
+	var processed atomic.Int64
+	units := make([]*unit, 100)
+	for i := range units {
+		units[i] = &unit{id: int32(i), level: i % 5}
+		p.activate(units[i])
+	}
+	p.run(4, func(w int, u *unit) {
+		processed.Add(1)
+	})
+	if processed.Load() != 100 {
+		t.Fatalf("processed %d units, want 100", processed.Load())
+	}
+	for _, u := range units {
+		if u.state.Load() != unitIdle {
+			t.Fatalf("unit %d not idle after run", u.id)
+		}
+	}
+}
+
+func TestPoolDoubleActivationRunsOnce(t *testing.T) {
+	p := newPool()
+	u := &unit{id: 0}
+	p.activate(u)
+	p.activate(u) // queued: second activation is a no-op
+	var runs atomic.Int64
+	p.run(2, func(w int, x *unit) { runs.Add(1) })
+	if runs.Load() != 1 {
+		t.Fatalf("queued unit ran %d times", runs.Load())
+	}
+}
+
+func TestPoolPendingReruns(t *testing.T) {
+	// A unit activated while running must run again.
+	p := newPool()
+	u := &unit{id: 0}
+	var runs atomic.Int64
+	p.activate(u)
+	p.run(2, func(w int, x *unit) {
+		if runs.Add(1) == 1 {
+			p.activate(x) // arrives while running -> pending -> re-run
+		}
+	})
+	if runs.Load() != 2 {
+		t.Fatalf("unit ran %d times, want 2", runs.Load())
+	}
+}
+
+func TestPoolCascadingActivation(t *testing.T) {
+	// Units activate each other in a chain; the pool must stay live until
+	// the whole cascade drains.
+	p := newPool()
+	const n = 50
+	units := make([]*unit, n)
+	for i := range units {
+		units[i] = &unit{id: int32(i), level: i}
+	}
+	var order []int32
+	var mu sync.Mutex
+	p.activate(units[0])
+	p.run(3, func(w int, u *unit) {
+		mu.Lock()
+		order = append(order, u.id)
+		mu.Unlock()
+		if int(u.id)+1 < n {
+			p.activate(units[u.id+1])
+		}
+	})
+	if len(order) != n {
+		t.Fatalf("cascade processed %d units, want %d", len(order), n)
+	}
+}
+
+func TestPoolLevelPriority(t *testing.T) {
+	// With one worker, queued units must come out in level order.
+	p := newPool()
+	levels := []int{3, 1, 2, 0, 1}
+	for i, l := range levels {
+		p.activate(&unit{id: int32(i), level: l})
+	}
+	var got []int
+	p.run(1, func(w int, u *unit) { got = append(got, u.level) })
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("levels out of order: %v", got)
+		}
+	}
+}
+
+func TestPoolEmptyRunReturns(t *testing.T) {
+	p := newPool()
+	done := make(chan struct{})
+	go func() {
+		p.run(4, func(int, *unit) { t.Error("nothing should run") })
+		close(done)
+	}()
+	<-done
+}
+
+func TestInboxPutDrain(t *testing.T) {
+	var b inbox[int]
+	if !b.empty() {
+		t.Fatal("fresh inbox not empty")
+	}
+	b.put(1)
+	b.put(2)
+	if b.empty() {
+		t.Fatal("inbox with messages reported empty")
+	}
+	got := b.drain(nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("drain = %v", got)
+	}
+	if !b.empty() {
+		t.Fatal("drain did not clear the inbox")
+	}
+	// Buffer reuse.
+	b.put(3)
+	got = b.drain(got)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("second drain = %v", got)
+	}
+}
+
+func TestInboxConcurrentPut(t *testing.T) {
+	var b inbox[int]
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.put(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.drain(nil); len(got) != 800 {
+		t.Fatalf("drained %d messages, want 800", len(got))
+	}
+}
+
+func TestFlags(t *testing.T) {
+	f := newFlags(8)
+	if f.get(3) {
+		t.Fatal("fresh flag set")
+	}
+	if f.swapSet(3) {
+		t.Fatal("swapSet on clear flag returned true")
+	}
+	if !f.get(3) || !f.swapSet(3) {
+		t.Fatal("flag did not stick")
+	}
+	f.clear(3)
+	if f.get(3) {
+		t.Fatal("clear failed")
+	}
+	f.set(7)
+	if !f.get(7) {
+		t.Fatal("set failed")
+	}
+}

@@ -1,0 +1,540 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/cachesim"
+	"repro/internal/dflow"
+	"repro/internal/etree"
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+// Selective is the GraphFly engine for monotonic (selection-based)
+// algorithms: SSSP, SSWP, BFS, CC.
+//
+// Correctness protocol (DESIGN.md §4.3): the key-edge forest makes the trim
+// set of a batch computable before refinement; trimmed vertices carry an
+// atomic "invalid" bit; refinement pulls skip invalid neighbours; every
+// reset or improved vertex pushes through its out-edges, so any candidate a
+// skipped pull would have found arrives later as a push. The post-trim
+// state is an achievable over-approximation, hence chaotic asynchronous
+// relaxation converges to the exact fixpoint — the same values a
+// from-scratch computation yields.
+type Selective struct {
+	G   *graph.Streaming
+	Alg algo.Selective
+	cfg Config
+
+	vals    *layout.Store
+	parent  []int32
+	trimmed *flags
+	kf      *etree.KeyForest
+
+	part *dflow.Partition
+	fg   *dflow.FlowGraph
+
+	probe    cachesim.Probe
+	profiled bool
+	outIdx   *layout.EdgeIndex
+	inIdx    *layout.EdgeIndex
+
+	batches int
+
+	// Per-batch execution state.
+	unitsMu  sync.Mutex
+	units    []*unit
+	unitOf   []int32 // flow -> unit index (atomic access)
+	inboxes  []inbox[selMsg]
+	trimList [][]uint32 // per-flow trim lists
+	pl       *pool
+
+	relaxations atomic.Int64
+	pulls       atomic.Int64
+	crossMsgs   atomic.Int64
+
+	trace   *WorkTrace
+	traceMu sync.Mutex
+}
+
+type selMsg struct {
+	v      uint32
+	val    float64
+	parent int32
+	force  bool // enqueue the vertex even if the value does not improve
+}
+
+// NewSelective builds the engine over g (which must already contain the
+// initial graph) and runs the initial static computation, recording key
+// edges, exactly as the paper's workflow does ("Initially, we generate the
+// D-trees of a graph offline", §VI).
+func NewSelective(g *graph.Streaming, alg algo.Selective, cfg Config) *Selective {
+	e := &Selective{
+		G:     g,
+		Alg:   alg,
+		cfg:   cfg,
+		probe: cfg.probe(),
+		kf:    etree.NewKeyForest(g.NumVertices()),
+	}
+	_, e.profiled = e.probe.(*cachesim.Sim)
+
+	vals, parent := algo.SolveSelective(g, alg)
+	e.parent = parent
+	e.trimmed = newFlags(g.NumVertices())
+	e.repartition()
+	for v, x := range vals {
+		e.vals.Set(uint32(v), x)
+	}
+	return e
+}
+
+// repartition rebuilds flows from the current key-edge forest, the flow
+// graph, the flow-blocked value store, and (when profiling) the edge
+// address model. Values migrate into the new store.
+func (e *Selective) repartition() {
+	e.part = dflow.NewPartitionFromParents(e.parent, e.cfg.FlowCap)
+	e.fg = dflow.NewFlowGraph(e.G, e.part)
+	var store *layout.Store
+	if e.cfg.ScatteredStorage {
+		store = layout.NewScatteredStore(e.G.NumVertices(), 1)
+	} else {
+		store = layout.NewFlowStore(e.part, 1)
+	}
+	if e.vals != nil {
+		for v := 0; v < e.G.NumVertices(); v++ {
+			store.Set(uint32(v), e.vals.Get(uint32(v)))
+		}
+	}
+	e.vals = store
+	e.refreshEdgeIndex()
+}
+
+func (e *Selective) refreshEdgeIndex() {
+	if !e.profiled {
+		return
+	}
+	blocked := !e.cfg.ScatteredStorage
+	e.outIdx = layout.NewEdgeIndex(e.G, e.part, blocked)
+	e.inIdx = layout.NewInEdgeIndex(e.G, e.part, blocked)
+}
+
+// Value returns v's current converged value.
+func (e *Selective) Value(v graph.VertexID) float64 { return e.vals.Get(uint32(v)) }
+
+// Values copies all values into a fresh slice.
+func (e *Selective) Values() []float64 {
+	out := make([]float64, e.G.NumVertices())
+	for v := range out {
+		out[v] = e.vals.Get(uint32(v))
+	}
+	return out
+}
+
+// Parent returns v's key-edge source (-1 if none).
+func (e *Selective) Parent(v graph.VertexID) int32 { return e.parent[v] }
+
+// Partition exposes the current dependency-flow partition (read-only).
+func (e *Selective) Partition() *dflow.Partition { return e.part }
+
+// ProcessBatch applies one batch of updates and incrementally reconverges.
+// It implements processEdgeStream of Fig 10.
+func (e *Selective) ProcessBatch(batch graph.Batch) BatchStats {
+	var st BatchStats
+	t0 := time.Now()
+	e.probe.BeginBatch()
+	if e.Alg.Symmetric() {
+		batch = Symmetrize(batch)
+	}
+	if e.cfg.TraceWork {
+		e.trace = newWorkTrace()
+		st.Trace = e.trace
+	} else {
+		e.trace = nil
+	}
+
+	// (1) Graph update (Workers, in parallel) ...
+	tApply := time.Now()
+	applied := e.G.ApplyBatchParallel(batch, e.cfg.workers())
+	st.Applied = len(applied)
+	st.ApplyTime = time.Since(tApply)
+
+	// (2) ... then the Manager maintains the dependency indexes: flow graph
+	// incrementally, key-edge D-tree by bulk-loading the key edges recorded
+	// during the previous batch (§IV-B).
+	tMaint := time.Now()
+	e.batches++
+	if e.batches%e.cfg.repartitionEvery() == 0 {
+		e.repartition()
+	} else {
+		for _, u := range applied {
+			if u.Del {
+				e.fg.DeleteEdge(u.Src, u.Dst)
+			} else {
+				e.fg.AddEdge(u.Src, u.Dst)
+			}
+		}
+		e.refreshEdgeIndex()
+	}
+	tKf := time.Now()
+	e.kf.BulkLoad(e.parent)
+	st.DtreeTime = time.Since(tKf)
+	st.MaintainTime = time.Since(tMaint)
+
+	// (3) Trim identification at tree-node cost (no graph-edge traversal).
+	tTrim := time.Now()
+	nf := e.part.NumFlows()
+	if cap(e.trimList) < nf {
+		e.trimList = make([][]uint32, nf)
+	}
+	e.trimList = e.trimList[:nf]
+	for i := range e.trimList {
+		e.trimList[i] = e.trimList[i][:0]
+	}
+	impacted := make(map[int32]bool)
+	for _, u := range applied {
+		if !u.Del || e.parent[u.Dst] != int32(u.Src) {
+			continue
+		}
+		st.TrimRoots++
+		e.kf.Subtree(uint32(u.Dst), func(x uint32) bool {
+			if e.trimmed.swapSet(x) {
+				return false // already trimmed by a nested root
+			}
+			e.parent[x] = -1
+			f := e.part.Flow(x)
+			e.trimList[f] = append(e.trimList[f], x)
+			impacted[f] = true
+			st.Trimmed++
+			return true
+		})
+	}
+	st.TrimTime = time.Since(tTrim)
+
+	// (4) Space-time schedule over the refining flows (cycles merged).
+	tSched := time.Now()
+	var groups []dflow.Group
+	if e.cfg.NoSCCMerge {
+		for f := range impacted {
+			groups = append(groups, dflow.Group{Flows: []int32{f}})
+		}
+	} else {
+		groups = dflow.Schedule(e.fg, impacted)
+	}
+	maxLevel := 0
+	for _, g := range groups {
+		if g.Level > maxLevel {
+			maxLevel = g.Level
+		}
+	}
+	st.Units = len(groups)
+	st.Levels = maxLevel + 1
+	st.Impacted = len(impacted)
+
+	e.units = e.units[:0]
+	if cap(e.unitOf) < nf {
+		e.unitOf = make([]int32, nf)
+	}
+	e.unitOf = e.unitOf[:nf]
+	for i := range e.unitOf {
+		e.unitOf[i] = -1
+	}
+	// One unit per flow with its group's schedule level: the SCC
+	// condensation provides the space-time *order*; flows still execute
+	// concurrently (the trimmed-bit protocol is interleaving-safe), which
+	// preserves the vertex-level parallelism §VI calls for inside large
+	// dependency groups.
+	for _, grp := range groups {
+		for _, f := range grp.Flows {
+			u := &unit{id: int32(len(e.units)), flows: []int32{f}, level: grp.Level}
+			e.units = append(e.units, u)
+			e.unitOf[f] = u.id
+		}
+	}
+	if cap(e.inboxes) < nf {
+		e.inboxes = make([]inbox[selMsg], nf)
+	}
+	e.inboxes = e.inboxes[:nf]
+	for i := range e.inboxes {
+		e.inboxes[i].msgs = e.inboxes[i].msgs[:0]
+	}
+	e.pl = newPool()
+	st.ScheduleTime = time.Since(tSched)
+
+	// (5) Seed addition relaxations as messages (no refinement needed:
+	// additions can only improve monotonic values).
+	for _, u := range applied {
+		if u.Del {
+			continue
+		}
+		if e.trimmed.get(uint32(u.Src)) {
+			continue // the source will push once its flow refines it
+		}
+		cand := e.Alg.Propagate(e.vals.Get(uint32(u.Src)), u.W)
+		if e.trimmed.get(uint32(u.Dst)) || e.Alg.Better(cand, e.vals.Get(uint32(u.Dst))) {
+			f := e.part.Flow(u.Dst)
+			e.inboxes[f].put(selMsg{v: uint32(u.Dst), val: cand, parent: int32(u.Src)})
+			e.activateFlow(f, maxLevel+1)
+		}
+	}
+
+	// (6) Execute.
+	tComp := time.Now()
+	e.relaxations.Store(0)
+	e.pulls.Store(0)
+	e.crossMsgs.Store(0)
+	if e.cfg.TwoPhase {
+		e.runTwoPhase()
+	} else {
+		e.runAsync()
+	}
+	st.ComputeTime = time.Since(tComp)
+	st.Relaxations = e.relaxations.Load()
+	st.Pulls = e.pulls.Load()
+	st.CrossMsgs = e.crossMsgs.Load()
+	st.Total = time.Since(t0)
+	return st
+}
+
+// activateFlow ensures flow f has a unit and activates it, lazily creating
+// singleton units for flows outside the schedule.
+func (e *Selective) activateFlow(f int32, level int) {
+	var u *unit
+	if ui := atomic.LoadInt32(&e.unitOf[f]); ui != -1 {
+		e.unitsMu.Lock()
+		u = e.units[ui]
+		e.unitsMu.Unlock()
+	} else {
+		e.unitsMu.Lock()
+		if ui := e.unitOf[f]; ui != -1 { // re-check under the lock
+			u = e.units[ui]
+		} else {
+			u = &unit{id: int32(len(e.units)), flows: []int32{f}, level: level}
+			e.units = append(e.units, u)
+			atomic.StoreInt32(&e.unitOf[f], u.id)
+		}
+		e.unitsMu.Unlock()
+	}
+	e.pl.activate(u)
+}
+
+// runAsync is GraphFly's normal mode: each unit fuses refine+recompute and
+// units at the same level run concurrently, no global phase barrier.
+func (e *Selective) runAsync() {
+	e.unitsMu.Lock()
+	for _, u := range e.units {
+		e.pl.activate(u)
+	}
+	e.unitsMu.Unlock()
+	e.pl.run(e.cfg.workers(), func(w int, u *unit) {
+		sw := e.newWorker()
+		sw.processUnit(u, true, true)
+	})
+}
+
+// runTwoPhase is the execution-model ablation: refine every impacted flow,
+// hit a global barrier, then recompute — the KickStarter/GraphBolt shape on
+// GraphFly's data structures.
+func (e *Selective) runTwoPhase() {
+	e.unitsMu.Lock()
+	units := append([]*unit(nil), e.units...)
+	e.unitsMu.Unlock()
+	graph.ParallelFor(len(units), e.cfg.workers(), func(lo, hi int) {
+		sw := e.newWorker()
+		for i := lo; i < hi; i++ {
+			sw.processUnit(units[i], true, false)
+			// Hand the reset vertices to phase 2 as forced seeds.
+			for _, v := range sw.wl {
+				f := e.part.Flow(v)
+				e.inboxes[f].put(selMsg{v: v, val: e.vals.Get(v), parent: e.parent[v], force: true})
+			}
+			sw.wl = sw.wl[:0]
+		}
+	})
+	// Global barrier, then recompute to quiescence.
+	e.unitsMu.Lock()
+	units = append(units[:0], e.units...)
+	e.unitsMu.Unlock()
+	for _, u := range units {
+		e.pl.activate(u)
+	}
+	e.pl.run(e.cfg.workers(), func(w int, u *unit) {
+		sw := e.newWorker()
+		sw.processUnit(u, false, true)
+	})
+}
+
+// selWorker is per-goroutine state: a forked probe and a local worklist.
+type selWorker struct {
+	e     *Selective
+	probe cachesim.Probe
+	wl    []uint32
+	buf   []selMsg
+}
+
+func (e *Selective) newWorker() *selWorker {
+	return &selWorker{e: e, probe: e.probe.Fork()}
+}
+
+func (sw *selWorker) readVal(v uint32) float64 {
+	if sw.e.profiled {
+		sw.probe.Access(sw.e.vals.Addr(v), false, cachesim.ClassVertex)
+	}
+	return sw.e.vals.Get(v)
+}
+
+func (sw *selWorker) writeVal(v uint32, x float64) {
+	if sw.e.profiled {
+		sw.probe.Access(sw.e.vals.Addr(v), true, cachesim.ClassVertex)
+	}
+	sw.e.vals.Set(v, x)
+}
+
+// processUnit runs one scheduling unit: optionally refine its trimmed
+// vertices (pull style, within the flow), then recompute to local
+// quiescence, draining inbox messages and pushing cross-flow candidates
+// (push style between flows — §V-A's pull-inside/push-outside rule).
+func (sw *selWorker) processUnit(u *unit, refine, recompute bool) {
+	e := sw.e
+	inUnit := func(f int32) bool {
+		return atomic.LoadInt32(&e.unitOf[f]) == u.id
+	}
+
+	if refine {
+		sw.probe.SetPhase(cachesim.PhaseRefine)
+		for _, f := range u.flows {
+			for _, v := range e.trimList[f] {
+				if !e.trimmed.get(v) {
+					continue // reset on a previous activation
+				}
+				sw.refineVertex(v)
+			}
+		}
+	}
+	if !recompute {
+		return
+	}
+	sw.probe.SetPhase(cachesim.PhaseRecompute)
+	for {
+		progressed := false
+		for _, f := range u.flows {
+			sw.buf = e.inboxes[f].drain(sw.buf)
+			for _, m := range sw.buf {
+				progressed = true
+				sw.apply(m)
+			}
+		}
+		// FIFO (SPFA-style) relaxation: breadth-first orders touch each
+		// vertex far fewer times than depth-first on weighted graphs.
+		for head := 0; head < len(sw.wl); head++ {
+			progressed = true
+			sw.relax(sw.wl[head], u, inUnit)
+		}
+		sw.wl = sw.wl[:0]
+		if !progressed {
+			return
+		}
+	}
+}
+
+// refineVertex resets a trimmed vertex to the best value achievable from
+// its untrimmed in-neighbours (or its base value) and queues it for
+// recomputation: refineEdge of Fig 10 at vertex granularity.
+func (sw *selWorker) refineVertex(v uint32) {
+	e := sw.e
+	best := e.Alg.Base(graph.VertexID(v))
+	bestParent := int32(-1)
+	in := e.G.In(graph.VertexID(v))
+	for i, h := range in {
+		if e.profiled {
+			sw.probe.Access(e.inIdx.Addr(v, i), false, cachesim.ClassEdge)
+		}
+		if e.trimmed.get(uint32(h.To)) {
+			continue // invalid neighbour: its push will arrive later
+		}
+		cand := e.Alg.Propagate(sw.readVal(uint32(h.To)), h.W)
+		if e.Alg.Better(cand, best) {
+			best = cand
+			bestParent = int32(h.To)
+		}
+	}
+	e.pulls.Add(int64(len(in)))
+	sw.writeVal(v, best)
+	e.parent[v] = bestParent
+	e.trimmed.clear(v)
+	sw.wl = append(sw.wl, v)
+	if e.trace != nil {
+		sw.addTraceWork(e.part.Flow(v), int64(len(in)))
+	}
+}
+
+// apply merges an incoming candidate into v (owner-side message handling).
+func (sw *selWorker) apply(m selMsg) {
+	e := sw.e
+	v := m.v
+	if e.trimmed.get(v) {
+		// Still invalid when its message arrives (e.g. trimmed by a nested
+		// root after the send): refine now so pull and push merge.
+		sw.refineVertex(v)
+	}
+	if e.Alg.Better(m.val, sw.readVal(v)) {
+		sw.writeVal(v, m.val)
+		e.parent[v] = m.parent
+		sw.wl = append(sw.wl, v)
+	} else if m.force {
+		sw.wl = append(sw.wl, v)
+	}
+}
+
+// relax pushes v's value over its out-edges: computeEdge of Fig 10.
+func (sw *selWorker) relax(v uint32, u *unit, inUnit func(int32) bool) {
+	e := sw.e
+	uVal := sw.readVal(v)
+	out := e.G.Out(graph.VertexID(v))
+	e.relaxations.Add(int64(len(out)))
+	if e.trace != nil {
+		sw.addTraceWork(e.part.Flow(v), int64(len(out)))
+	}
+	for i, h := range out {
+		if e.profiled {
+			sw.probe.Access(e.outIdx.Addr(v, i), false, cachesim.ClassEdge)
+		}
+		w := uint32(h.To)
+		cand := e.Alg.Propagate(uVal, h.W)
+		tf := e.part.Flow(h.To)
+		if inUnit(tf) {
+			if e.trimmed.get(w) {
+				sw.refineVertex(w)
+			}
+			if e.Alg.Better(cand, sw.readVal(w)) {
+				sw.writeVal(w, cand)
+				e.parent[w] = int32(v)
+				sw.wl = append(sw.wl, w)
+			}
+			continue
+		}
+		// Cross-flow: send only when it could matter.
+		if e.trimmed.get(w) || e.Alg.Better(cand, sw.readVal(w)) {
+			e.inboxes[tf].put(selMsg{v: w, val: cand, parent: int32(v)})
+			e.crossMsgs.Add(1)
+			if e.trace != nil {
+				sw.addTraceMsg(e.part.Flow(v), tf)
+			}
+			e.activateFlow(tf, u.level+1)
+		}
+	}
+}
+
+func (sw *selWorker) addTraceWork(f int32, n int64) {
+	sw.e.traceMu.Lock()
+	sw.e.trace.FlowWork[f] += n
+	sw.e.traceMu.Unlock()
+}
+
+func (sw *selWorker) addTraceMsg(from, to int32) {
+	sw.e.traceMu.Lock()
+	sw.e.trace.FlowMsgs[[2]int32{from, to}]++
+	sw.e.traceMu.Unlock()
+}

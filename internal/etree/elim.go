@@ -1,0 +1,67 @@
+package etree
+
+import "sort"
+
+// EliminationTree builds the classic elimination tree T(L) of a triangular
+// edge set (paper Eq. 1): the parent of vertex i is its smallest neighbour
+// k > i. Edges are given as (lo, hi) pairs with lo < hi; the function is the
+// textbook construction used as the baseline D-trees extend.
+//
+// The returned slice maps each vertex to its parent, or -1 for roots. Note
+// that for matrices violating CONDITION 1 the elimination tree loses
+// dependencies (Fig 6d) — that is exactly the deficiency D-trees repair.
+func EliminationTree(n int, edges [][2]uint32) []int32 {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	// Sort edges so each vertex sees its candidate parents in order.
+	es := append([][2]uint32(nil), edges...)
+	sort.Slice(es, func(a, b int) bool {
+		if es[a][0] != es[b][0] {
+			return es[a][0] < es[b][0]
+		}
+		return es[a][1] < es[b][1]
+	})
+	for _, e := range es {
+		lo, hi := e[0], e[1]
+		if lo >= hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			continue
+		}
+		if parent[lo] == -1 || uint32(parent[lo]) > hi {
+			parent[lo] = int32(hi)
+		}
+	}
+	return parent
+}
+
+// SubtreeSets returns, for a parent forest, the vertex set of every root's
+// tree (used by tests to verify PROPERTY 1: child subtrees share no edges).
+func SubtreeSets(parent []int32) map[int32][]uint32 {
+	children := make(map[int32][]uint32)
+	roots := []int32{}
+	for v, p := range parent {
+		if p == -1 {
+			roots = append(roots, int32(v))
+		} else {
+			children[p] = append(children[p], uint32(v))
+		}
+	}
+	out := make(map[int32][]uint32, len(roots))
+	for _, r := range roots {
+		var set []uint32
+		stack := []uint32{uint32(r)}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			set = append(set, v)
+			stack = append(stack, children[int32(v)]...)
+		}
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		out[r] = set
+	}
+	return out
+}

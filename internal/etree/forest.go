@@ -1,0 +1,239 @@
+package etree
+
+import (
+	"repro/internal/graph"
+)
+
+// Direction selects which triangle of the adjacency matrix a D-tree forest
+// covers. With vertices ordered by ID, Forward covers edges u->v with u < v
+// and Backward covers u->v with u > v. The paper builds one D-tree forest
+// per triangle: one partitions the graph into dependency-flows (space), the
+// other constrains their execution order (time) — §V-A.
+type Direction int
+
+const (
+	// Forward covers edges whose destination ID exceeds the source ID.
+	Forward Direction = iota
+	// Backward covers edges whose destination ID is below the source ID.
+	Backward
+)
+
+// Covers reports whether edge (u, v) belongs to this triangle.
+func (d Direction) Covers(u, v graph.VertexID) bool {
+	if u == v {
+		return false
+	}
+	if d == Forward {
+		return u < v
+	}
+	return u > v
+}
+
+// Forest is a D-tree forest (paper §IV): an elimination-tree-like structure
+// over one triangle of the graph, extended with hyper vertices so that
+// arbitrary (CONDITION-1-violating) graphs are handled. Following
+// Algorithm 1, a vertex with more than one triangular out-neighbour is
+// merged with all of them into a hyper vertex (inseparable); a vertex with
+// exactly one gets a tree link to it.
+//
+// Maintenance is incremental: additions are O(1) amortized (a union and a
+// link update); deletions are O(out-degree) for the link recomputation and
+// mark the surrounding hyper vertex dirty — separation is deferred to a
+// threshold-triggered rebuild, which is always correct (merged-but-
+// separable hyper vertices only coarsen flows, they never break PROPERTY 1).
+type Forest struct {
+	n   int
+	dir Direction
+
+	fdeg []int32 // triangular out-degree of each vertex
+	link []int32 // smallest triangular out-neighbour, -1 if none
+	uf   *UnionFind
+
+	dirty     int // deletions since last rebuild that may allow separation
+	mergeOps  int // total hyper merge operations (stats)
+	maintainN int // incremental maintenance operations (stats)
+}
+
+// NewForest builds the D-tree forest for one triangle of g, implementing
+// DtreeGeneration of Algorithm 1 in O(N + E).
+func NewForest(g *graph.Streaming, dir Direction) *Forest {
+	f := &Forest{
+		n:    g.NumVertices(),
+		dir:  dir,
+		fdeg: make([]int32, g.NumVertices()),
+		link: make([]int32, g.NumVertices()),
+		uf:   NewUnionFind(g.NumVertices()),
+	}
+	f.build(g)
+	return f
+}
+
+func (f *Forest) build(g *graph.Streaming) {
+	for v := 0; v < f.n; v++ {
+		f.link[v] = -1
+		f.fdeg[v] = 0
+	}
+	f.uf.Reset()
+	f.dirty = 0
+	for v := 0; v < f.n; v++ {
+		src := graph.VertexID(v)
+		for _, h := range g.Out(src) {
+			if !f.dir.Covers(src, h.To) {
+				continue
+			}
+			f.fdeg[v]++
+			if f.link[v] == -1 || graph.VertexID(f.link[v]) > h.To {
+				f.link[v] = int32(h.To)
+			}
+		}
+		if f.fdeg[v] > 1 {
+			// mergeHyperVertexInDTree: v and all its triangular
+			// out-neighbours become one hyper vertex.
+			for _, h := range g.Out(src) {
+				if f.dir.Covers(src, h.To) {
+					if _, merged := f.uf.Union(int32(v), int32(h.To)); merged {
+						f.mergeOps++
+					}
+				}
+			}
+		}
+	}
+}
+
+// N returns the number of vertices.
+func (f *Forest) N() int { return f.n }
+
+// Dir returns the forest's triangle.
+func (f *Forest) Dir() Direction { return f.dir }
+
+// Link returns v's tree link (smallest triangular out-neighbour) or -1.
+func (f *Forest) Link(v graph.VertexID) int32 { return f.link[v] }
+
+// Rep returns the hyper-vertex representative of v.
+func (f *Forest) Rep(v graph.VertexID) int32 { return f.uf.Find(int32(v)) }
+
+// SameHyper reports whether u and v share a hyper vertex.
+func (f *Forest) SameHyper(u, v graph.VertexID) bool {
+	return f.uf.Same(int32(u), int32(v))
+}
+
+// HyperSize returns the size of v's hyper vertex (1 = plain vertex).
+func (f *Forest) HyperSize(v graph.VertexID) int32 { return f.uf.SetSize(int32(v)) }
+
+// TriDegree returns the triangular out-degree of v.
+func (f *Forest) TriDegree(v graph.VertexID) int32 { return f.fdeg[v] }
+
+// AddEdge maintains the forest for an edge addition (edgeAddition of
+// Algorithm 1). Updates outside this forest's triangle are ignored.
+// Amortized O(1): at most two unions and a link comparison.
+func (f *Forest) AddEdge(u, v graph.VertexID) {
+	if !f.dir.Covers(u, v) {
+		return
+	}
+	f.maintainN++
+	f.fdeg[u]++
+	switch {
+	case f.fdeg[u] == 1:
+		f.link[u] = int32(v)
+	case f.fdeg[u] == 2:
+		// u gains a second parent: merge u with both (CheckMergeHyperVertex).
+		if _, m := f.uf.Union(int32(u), f.link[u]); m {
+			f.mergeOps++
+		}
+		if _, m := f.uf.Union(int32(u), int32(v)); m {
+			f.mergeOps++
+		}
+		if int32(v) < f.link[u] {
+			f.link[u] = int32(v)
+		}
+	default:
+		// Already a hyper member: absorb the new parent.
+		if _, m := f.uf.Union(int32(u), int32(v)); m {
+			f.mergeOps++
+		}
+		if int32(v) < f.link[u] {
+			f.link[u] = int32(v)
+		}
+	}
+}
+
+// DeleteEdge maintains the forest for an edge deletion (edgeDeletion of
+// Algorithm 1). g must already reflect the deletion. The link is
+// recomputed by scanning u's remaining out-edges; hyper separation is
+// deferred (CheckSeparateHyperVertex is lazy — see RebuildIfDirty).
+func (f *Forest) DeleteEdge(g *graph.Streaming, u, v graph.VertexID) {
+	if !f.dir.Covers(u, v) {
+		return
+	}
+	f.maintainN++
+	f.fdeg[u]--
+	if f.fdeg[u] < 0 {
+		f.fdeg[u] = 0
+	}
+	if f.link[u] == int32(v) {
+		f.link[u] = -1
+		for _, h := range g.Out(u) {
+			if f.dir.Covers(u, h.To) && (f.link[u] == -1 || graph.VertexID(f.link[u]) > h.To) {
+				f.link[u] = int32(h.To)
+			}
+		}
+	}
+	if f.uf.SetSize(int32(u)) > 1 {
+		// The hyper vertex containing u may now be separable.
+		f.dirty++
+	}
+}
+
+// DirtyDeletions returns the count of deletions since the last rebuild that
+// might allow hyper-vertex separation.
+func (f *Forest) DirtyDeletions() int { return f.dirty }
+
+// RebuildIfDirty rebuilds the forest from scratch when accumulated
+// deletions exceed frac*N, restoring exact (minimal) hyper vertices. It
+// reports whether a rebuild happened.
+func (f *Forest) RebuildIfDirty(g *graph.Streaming, frac float64) bool {
+	if float64(f.dirty) <= frac*float64(f.n) {
+		return false
+	}
+	f.build(g)
+	return true
+}
+
+// Stats summarizes the forest's structure.
+type Stats struct {
+	Vertices      int
+	HyperVertices int // hyper vertices with >= 2 members
+	MaxHyperSize  int
+	Trees         int // D-trees in the forest (roots at hyper granularity)
+	MergeOps      int
+	MaintainOps   int
+}
+
+// ComputeStats walks the forest and returns its statistics. A hyper node is
+// a root when no member has a tree link leaving the hyper node.
+func (f *Forest) ComputeStats() Stats {
+	s := Stats{Vertices: f.n, MergeOps: f.mergeOps, MaintainOps: f.maintainN}
+	sizes := make(map[int32]int)
+	hasParent := make(map[int32]bool)
+	for v := 0; v < f.n; v++ {
+		r := f.uf.Find(int32(v))
+		sizes[r]++
+		if l := f.link[v]; l != -1 {
+			if lr := f.uf.Find(l); lr != r {
+				hasParent[r] = true
+			}
+		}
+	}
+	for r, sz := range sizes {
+		if sz >= 2 {
+			s.HyperVertices++
+		}
+		if sz > s.MaxHyperSize {
+			s.MaxHyperSize = sz
+		}
+		if !hasParent[r] {
+			s.Trees++
+		}
+	}
+	return s
+}

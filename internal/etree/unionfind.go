@@ -1,0 +1,76 @@
+// Package etree implements elimination trees and the paper's D-trees
+// (elimination trees extended with hyper vertices), plus the key-edge
+// dependence forest used by selective algorithms. These structures are the
+// paper's §IV: they let the runtime identify dependency-flows *before*
+// refinement, at tree-node cost rather than graph-edge cost.
+package etree
+
+// UnionFind is a standard disjoint-set forest with union by size and path
+// halving. It implements the hyper-vertex merging of D-trees: vertices
+// merged into one hyper vertex share a representative.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Find returns the representative of x with path halving.
+func (u *UnionFind) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and returns the surviving
+// representative. It reports whether a merge happened (false if already in
+// the same set).
+func (u *UnionFind) Union(a, b int32) (int32, bool) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return ra, false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.sets--
+	return ra, true
+}
+
+// Same reports whether a and b share a set.
+func (u *UnionFind) Same(a, b int32) bool { return u.Find(a) == u.Find(b) }
+
+// SetSize returns the size of x's set.
+func (u *UnionFind) SetSize(x int32) int32 { return u.size[u.Find(x)] }
+
+// NumSets returns the current number of disjoint sets.
+func (u *UnionFind) NumSets() int { return u.sets }
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Reset returns every element to its own singleton set.
+func (u *UnionFind) Reset() {
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	u.sets = len(u.parent)
+}

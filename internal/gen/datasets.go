@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"os"
+	"strconv"
+)
+
+// Dataset presets mirror Table I of the paper, scaled so that every
+// experiment runs on a laptop. Scale 1.0 targets roughly 1/1000 of each
+// graph's edge count while preserving each dataset's character:
+//
+//	FT (Friendster)   — RMAT, moderately skewed, densest
+//	TT (Twitter MPI)  — RMAT, highly skewed
+//	TW (Twitter)      — RMAT, highly skewed, smaller
+//	UK (UKDomain)     — BA, web-like with long attachment chains
+//	LJ (LiveJournal)  — RMAT, the small test graph
+//
+// The environment variable GRAPHFLY_SCALE multiplies vertex and edge counts
+// for larger runs (e.g. GRAPHFLY_SCALE=10).
+
+// ScaleFactor returns the global dataset scale from GRAPHFLY_SCALE
+// (default 1.0).
+func ScaleFactor() float64 {
+	s := os.Getenv("GRAPHFLY_SCALE")
+	if s == "" {
+		return 1.0
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f <= 0 {
+		return 1.0
+	}
+	return f
+}
+
+func scaled(base int, f float64) int {
+	v := int(float64(base) * f)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// Dataset returns the preset configuration for one of the paper's five
+// graphs, identified by its two-letter code.
+func Dataset(code string) Config {
+	f := ScaleFactor()
+	switch code {
+	case "FT": // Friendster: 68.3M V / 2.5B E  -> scaled
+		return Config{Name: "FT", Kind: RMAT, NumV: scaled(70_000, f), NumE: scaled(2_500_000, f),
+			Seed: 0xF7, A: 0.55, B: 0.20, C: 0.20, MaxWeight: 8}
+	case "TT": // Twitter MPI: 52.6M V / 2.0B E
+		return Config{Name: "TT", Kind: RMAT, NumV: scaled(53_000, f), NumE: scaled(2_000_000, f),
+			Seed: 0x77, A: 0.60, B: 0.19, C: 0.19, MaxWeight: 8}
+	case "TW": // Twitter: 41.7M V / 1.5B E
+		return Config{Name: "TW", Kind: RMAT, NumV: scaled(42_000, f), NumE: scaled(1_500_000, f),
+			Seed: 0x7A, A: 0.60, B: 0.19, C: 0.19, MaxWeight: 8}
+	case "UK": // UKDomain: 39.5M V / 1.0B E
+		return Config{Name: "UK", Kind: BA, NumV: scaled(40_000, f), NumE: scaled(1_000_000, f),
+			Seed: 0x0B, MaxWeight: 8}
+	case "LJ": // LiveJournal: 4.8M V / 69M E
+		return Config{Name: "LJ", Kind: RMAT, NumV: scaled(4_800, f), NumE: scaled(69_000, f),
+			Seed: 0x13, A: 0.57, B: 0.19, C: 0.19, MaxWeight: 8}
+	}
+	panic("gen: unknown dataset code " + code)
+}
+
+// DatasetCodes lists the five paper datasets in the order Table I uses.
+func DatasetCodes() []string { return []string{"FT", "TT", "TW", "UK", "LJ"} }
+
+// TestDataset returns a small graph for unit tests: deterministic,
+// a few thousand edges, independent of GRAPHFLY_SCALE.
+func TestDataset(seed uint64) Config {
+	return Config{Name: "test", Kind: RMAT, NumV: 512, NumE: 4096,
+		Seed: seed, A: 0.57, B: 0.19, C: 0.19, MaxWeight: 8}
+}

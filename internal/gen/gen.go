@@ -1,0 +1,209 @@
+// Package gen produces deterministic synthetic graphs and edge-update
+// streams that stand in for the paper's proprietary-scale datasets
+// (Friendster, Twitter MPI, Twitter, UKDomain, LiveJournal).
+//
+// The paper's experiments depend on two topological properties that the
+// generators reproduce: a skewed (power-law-like) degree distribution and a
+// locality structure that decomposes into many dependency-flows. RMAT and
+// preferential attachment both yield those properties at any scale, so the
+// *shapes* of GraphFly's results survive the scale-down (see DESIGN.md §2).
+//
+// Streams follow the paper's methodology (§VII-A): 50 % of the edges form
+// the initial graph; the remainder arrive as batched additions, mixed with
+// deletions of existing edges drawn with a configurable probability.
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Kind selects a generator family.
+type Kind int
+
+const (
+	// RMAT is the recursive-matrix generator (Chakrabarti et al.), the
+	// standard stand-in for social-network topology (Graph500 uses it).
+	RMAT Kind = iota
+	// ER is the Erdős–Rényi uniform random graph; used by tests as the
+	// "no skew" control.
+	ER
+	// BA is Barabási–Albert preferential attachment: strong power law,
+	// models web/social growth.
+	BA
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RMAT:
+		return "rmat"
+	case ER:
+		return "er"
+	case BA:
+		return "ba"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Config describes a synthetic dataset.
+type Config struct {
+	Name      string
+	Kind      Kind
+	NumV      int
+	NumE      int // target directed edge count (pre-dedup)
+	Seed      uint64
+	MaxWeight int // weights uniform in [1, MaxWeight]
+
+	// RMAT partition probabilities; must sum to <= 1 (D = 1-A-B-C).
+	A, B, C float64
+}
+
+// Generate produces the full edge list for the configuration. Self loops
+// and duplicate (src,dst) pairs are removed, so the returned list may be
+// slightly smaller than cfg.NumE; order is deterministic.
+func Generate(cfg Config) []graph.Edge {
+	r := rng.New(cfg.Seed)
+	if cfg.MaxWeight <= 0 {
+		cfg.MaxWeight = 8
+	}
+	var raw []graph.Edge
+	switch cfg.Kind {
+	case RMAT:
+		raw = genRMAT(cfg, r)
+	case ER:
+		raw = genER(cfg, r)
+	case BA:
+		raw = genBA(cfg, r)
+	default:
+		panic(fmt.Sprintf("gen: unknown kind %v", cfg.Kind))
+	}
+	return dedup(raw)
+}
+
+func genRMAT(cfg Config, r *rng.Xoshiro256) []graph.Edge {
+	a, b, c := cfg.A, cfg.B, cfg.C
+	if a == 0 && b == 0 && c == 0 {
+		a, b, c = 0.57, 0.19, 0.19 // Graph500 defaults
+	}
+	// Number of bits; vertices outside [0,NumV) are re-drawn by rejection.
+	bits := 0
+	for 1<<bits < cfg.NumV {
+		bits++
+	}
+	edges := make([]graph.Edge, 0, cfg.NumE)
+	for len(edges) < cfg.NumE {
+		var src, dst uint32
+		for {
+			src, dst = 0, 0
+			for i := 0; i < bits; i++ {
+				p := r.Float64()
+				switch {
+				case p < a:
+					// top-left quadrant: no bits set
+				case p < a+b:
+					dst |= 1 << i
+				case p < a+b+c:
+					src |= 1 << i
+				default:
+					src |= 1 << i
+					dst |= 1 << i
+				}
+			}
+			if int(src) < cfg.NumV && int(dst) < cfg.NumV {
+				break
+			}
+		}
+		if src == dst {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, W: r.Weight(cfg.MaxWeight)})
+	}
+	return edges
+}
+
+func genER(cfg Config, r *rng.Xoshiro256) []graph.Edge {
+	edges := make([]graph.Edge, 0, cfg.NumE)
+	for len(edges) < cfg.NumE {
+		src := graph.VertexID(r.Intn(cfg.NumV))
+		dst := graph.VertexID(r.Intn(cfg.NumV))
+		if src == dst {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, W: r.Weight(cfg.MaxWeight)})
+	}
+	return edges
+}
+
+func genBA(cfg Config, r *rng.Xoshiro256) []graph.Edge {
+	// Preferential attachment by the repeated-endpoint trick: keep a slice
+	// of endpoints; sampling uniformly from it is degree-proportional.
+	// Each edge's direction is randomized: pure new->old orientation would
+	// make low-ID sources reach almost nothing, which web graphs (link both
+	// ways across page ages) do not exhibit.
+	perNew := cfg.NumE / cfg.NumV
+	if perNew < 1 {
+		perNew = 1
+	}
+	endpoints := make([]graph.VertexID, 0, 2*cfg.NumE)
+	edges := make([]graph.Edge, 0, cfg.NumE)
+	// Small seed clique.
+	seedN := perNew + 1
+	if seedN > cfg.NumV {
+		seedN = cfg.NumV
+	}
+	for i := 1; i < seedN; i++ {
+		e := graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i - 1), W: r.Weight(cfg.MaxWeight)}
+		edges = append(edges, e)
+		endpoints = append(endpoints, e.Src, e.Dst)
+	}
+	for v := seedN; v < cfg.NumV && len(edges) < cfg.NumE; v++ {
+		for k := 0; k < perNew && len(edges) < cfg.NumE; k++ {
+			var dst graph.VertexID
+			if len(endpoints) == 0 {
+				dst = graph.VertexID(r.Intn(v))
+			} else {
+				dst = endpoints[r.Intn(len(endpoints))]
+			}
+			if dst == graph.VertexID(v) {
+				continue
+			}
+			src := graph.VertexID(v)
+			if r.Float64() < 0.5 {
+				src, dst = dst, src
+			}
+			e := graph.Edge{Src: src, Dst: dst, W: r.Weight(cfg.MaxWeight)}
+			edges = append(edges, e)
+			endpoints = append(endpoints, e.Src, e.Dst)
+		}
+	}
+	// Top up with preferential extra edges if the target was not reached.
+	for len(edges) < cfg.NumE && len(endpoints) >= 2 {
+		src := endpoints[r.Intn(len(endpoints))]
+		dst := endpoints[r.Intn(len(endpoints))]
+		if src == dst {
+			continue
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, W: r.Weight(cfg.MaxWeight)})
+	}
+	return edges
+}
+
+func dedup(edges []graph.Edge) []graph.Edge {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	out := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e.Src == out[len(out)-1].Src && e.Dst == out[len(out)-1].Dst {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateDeterminism(t *testing.T) {
+	for _, kind := range []Kind{RMAT, ER, BA} {
+		cfg := Config{Name: "t", Kind: kind, NumV: 200, NumE: 1000, Seed: 5}
+		a := Generate(cfg)
+		b := Generate(cfg)
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ %d vs %d", kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: edge %d differs", kind, i)
+			}
+		}
+	}
+}
+
+func TestGenerateNoSelfLoopsNoDuplicates(t *testing.T) {
+	for _, kind := range []Kind{RMAT, ER, BA} {
+		cfg := Config{Name: "t", Kind: kind, NumV: 100, NumE: 2000, Seed: 9}
+		edges := Generate(cfg)
+		type pair struct{ s, d graph.VertexID }
+		seen := map[pair]bool{}
+		for _, e := range edges {
+			if e.Src == e.Dst {
+				t.Fatalf("%v: self loop %v", kind, e)
+			}
+			if int(e.Src) >= cfg.NumV || int(e.Dst) >= cfg.NumV {
+				t.Fatalf("%v: vertex out of range %v", kind, e)
+			}
+			if e.W < 1 {
+				t.Fatalf("%v: non-positive weight %v", kind, e)
+			}
+			k := pair{e.Src, e.Dst}
+			if seen[k] {
+				t.Fatalf("%v: duplicate edge %v", kind, e)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// RMAT should produce a markedly more skewed degree distribution than ER.
+func TestRMATSkew(t *testing.T) {
+	deg := func(edges []graph.Edge, n int) []int {
+		d := make([]int, n)
+		for _, e := range edges {
+			d[e.Src]++
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(d)))
+		return d
+	}
+	n, m := 1024, 16384
+	rm := deg(Generate(Config{Kind: RMAT, NumV: n, NumE: m, Seed: 3, A: 0.57, B: 0.19, C: 0.19}), n)
+	er := deg(Generate(Config{Kind: ER, NumV: n, NumE: m, Seed: 3}), n)
+	// Compare the share of edges owned by the top 1% of vertices.
+	top := n / 100
+	share := func(d []int) float64 {
+		s, tot := 0, 0
+		for i, v := range d {
+			tot += v
+			if i < top {
+				s += v
+			}
+		}
+		return float64(s) / float64(tot)
+	}
+	if share(rm) < share(er)*1.5 {
+		t.Fatalf("RMAT top-1%% share %.3f not much larger than ER %.3f", share(rm), share(er))
+	}
+}
+
+func TestDatasetPresets(t *testing.T) {
+	for _, code := range DatasetCodes() {
+		cfg := Dataset(code)
+		if cfg.Name != code {
+			t.Fatalf("Dataset(%q).Name = %q", code, cfg.Name)
+		}
+		if cfg.NumV <= 0 || cfg.NumE <= 0 {
+			t.Fatalf("Dataset(%q) has empty dims", code)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset code should panic")
+		}
+	}()
+	Dataset("XX")
+}
+
+func TestDatasetRelativeSizes(t *testing.T) {
+	// Table I ordering: FT > TT > TW > UK >> LJ by edge count.
+	var sizes []int
+	for _, code := range []string{"FT", "TT", "TW", "UK", "LJ"} {
+		sizes = append(sizes, Dataset(code).NumE)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Fatalf("dataset sizes not descending: %v", sizes)
+		}
+	}
+}
+
+func TestBuildWorkloadSplit(t *testing.T) {
+	cfg := TestDataset(1)
+	edges := Generate(cfg)
+	sc := DefaultStream(100, 5, 2)
+	w := BuildWorkload(cfg.NumV, edges, sc)
+	if len(w.Batches) != 5 {
+		t.Fatalf("batches = %d", len(w.Batches))
+	}
+	frac := float64(len(w.Initial)) / float64(len(edges))
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("initial fraction = %v", frac)
+	}
+	for bi, b := range w.Batches {
+		if len(b) == 0 || len(b) > sc.BatchSize {
+			t.Fatalf("batch %d size %d out of range", bi, len(b))
+		}
+		dels := b.Deletions()
+		ratio := float64(dels) / float64(len(b))
+		if ratio > 0.2 {
+			t.Fatalf("batch %d deletion ratio %.2f too high", bi, ratio)
+		}
+	}
+}
+
+// Every batch must apply cleanly: additions of absent edges, deletions of
+// present edges — the sampler tracks the live edge set.
+func TestWorkloadBatchesApplyCleanly(t *testing.T) {
+	cfg := TestDataset(4)
+	edges := Generate(cfg)
+	w := BuildWorkload(cfg.NumV, edges, DefaultStream(200, 8, 11))
+	g := graph.FromEdges(w.NumV, w.Initial)
+	for bi, b := range w.Batches {
+		applied := g.ApplyBatch(b)
+		if len(applied) != len(b) {
+			t.Fatalf("batch %d: only %d/%d updates took effect", bi, len(applied), len(b))
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("batch %d corrupted graph: %v", bi, err)
+		}
+	}
+}
+
+func TestWorkloadNoIntraBatchConflicts(t *testing.T) {
+	cfg := TestDataset(8)
+	edges := Generate(cfg)
+	w := BuildWorkload(cfg.NumV, edges, StreamConfig{
+		InitialFraction: 0.5, DeleteRatio: 0.5, BatchSize: 300, NumBatches: 6, Seed: 3})
+	type pair struct{ s, d graph.VertexID }
+	for bi, b := range w.Batches {
+		seen := map[pair]bool{}
+		for _, u := range b {
+			k := pair{u.Src, u.Dst}
+			if seen[k] {
+				t.Fatalf("batch %d touches %v twice", bi, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestStreamSynthesizesWhenExhausted(t *testing.T) {
+	// Tiny edge list + many large batches: the sampler must keep producing.
+	cfg := Config{Kind: ER, NumV: 64, NumE: 100, Seed: 6}
+	edges := Generate(cfg)
+	w := BuildWorkload(cfg.NumV, edges, DefaultStream(500, 4, 9))
+	total := 0
+	for _, b := range w.Batches {
+		total += len(b)
+	}
+	if total < 1000 {
+		t.Fatalf("stream dried up: only %d updates total", total)
+	}
+}
+
+func TestScaleFactorParsing(t *testing.T) {
+	t.Setenv("GRAPHFLY_SCALE", "2.5")
+	if f := ScaleFactor(); f != 2.5 {
+		t.Fatalf("ScaleFactor = %v", f)
+	}
+	t.Setenv("GRAPHFLY_SCALE", "garbage")
+	if f := ScaleFactor(); f != 1.0 {
+		t.Fatalf("ScaleFactor with garbage = %v", f)
+	}
+	t.Setenv("GRAPHFLY_SCALE", "-1")
+	if f := ScaleFactor(); f != 1.0 {
+		t.Fatalf("ScaleFactor with negative = %v", f)
+	}
+}
+
+func TestDatasetWorkloadEndToEnd(t *testing.T) {
+	t.Setenv("GRAPHFLY_SCALE", "0.01")
+	w := DatasetWorkload("LJ", DefaultStream(50, 2, 1))
+	if w.NumV == 0 || len(w.Initial) == 0 || len(w.Batches) != 2 {
+		t.Fatalf("workload empty: %d vertices, %d initial, %d batches",
+			w.NumV, len(w.Initial), len(w.Batches))
+	}
+}

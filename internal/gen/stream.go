@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// StreamConfig controls how a static edge list is turned into an initial
+// graph plus a stream of update batches, following the paper's methodology:
+// "we use 50% of the graph as the initial graph, and the rest of the edges
+// are added with graph mutations ... edges are deleted from the graph with
+// 0.1 probability" (§VII-A).
+type StreamConfig struct {
+	InitialFraction float64 // fraction of edges in G0 (paper: 0.5)
+	DeleteRatio     float64 // fraction of each batch that is deletions (paper default: 0.1)
+	BatchSize       int     // updates per batch
+	NumBatches      int     // number of batches to emit
+	Seed            uint64
+}
+
+// DefaultStream mirrors the paper's default workload: 50 % warm start,
+// 10 % deletions, batches of the given size.
+func DefaultStream(batchSize, numBatches int, seed uint64) StreamConfig {
+	return StreamConfig{
+		InitialFraction: 0.5,
+		DeleteRatio:     0.1,
+		BatchSize:       batchSize,
+		NumBatches:      numBatches,
+		Seed:            seed,
+	}
+}
+
+// Workload is a fully materialized streaming experiment: the number of
+// vertices, the initial edges, and the update batches.
+type Workload struct {
+	NumV    int
+	Initial []graph.Edge
+	Batches []graph.Batch
+}
+
+// BuildWorkload splits edges into the initial graph and update batches.
+// Additions are drawn (in order) from the held-out edges; deletions are
+// sampled from edges currently present in the evolving graph, never
+// colliding with an addition of the same pair inside the same batch.
+func BuildWorkload(numV int, edges []graph.Edge, sc StreamConfig) Workload {
+	r := rng.New(sc.Seed)
+	if sc.InitialFraction <= 0 || sc.InitialFraction > 1 {
+		sc.InitialFraction = 0.5
+	}
+	// Shuffle a copy so the split is random but deterministic.
+	shuffled := append([]graph.Edge(nil), edges...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	nInit := int(float64(len(shuffled)) * sc.InitialFraction)
+	initial := shuffled[:nInit]
+	pending := shuffled[nInit:] // future additions, consumed in order
+
+	// live tracks edges currently in the graph, as a slice for O(1)
+	// sampling plus an index map for O(1) removal.
+	type pair struct{ s, d graph.VertexID }
+	live := make([]graph.Edge, len(initial))
+	copy(live, initial)
+	liveIdx := make(map[pair]int, len(live))
+	for i, e := range live {
+		liveIdx[pair{e.Src, e.Dst}] = i
+	}
+	removeLive := func(i int) graph.Edge {
+		e := live[i]
+		last := len(live) - 1
+		live[i] = live[last]
+		liveIdx[pair{live[i].Src, live[i].Dst}] = i
+		live = live[:last]
+		delete(liveIdx, pair{e.Src, e.Dst})
+		return e
+	}
+	addLive := func(e graph.Edge) {
+		if _, ok := liveIdx[pair{e.Src, e.Dst}]; ok {
+			return
+		}
+		liveIdx[pair{e.Src, e.Dst}] = len(live)
+		live = append(live, e)
+	}
+
+	w := Workload{NumV: numV, Initial: initial}
+	nextAdd := 0
+	for b := 0; b < sc.NumBatches; b++ {
+		batch := make(graph.Batch, 0, sc.BatchSize)
+		inBatch := make(map[pair]bool, sc.BatchSize)
+		nDel := int(float64(sc.BatchSize) * sc.DeleteRatio)
+		nAdd := sc.BatchSize - nDel
+
+		for i := 0; i < nAdd; i++ {
+			var e graph.Edge
+			if nextAdd < len(pending) {
+				e = pending[nextAdd]
+				nextAdd++
+			} else {
+				// Pending pool exhausted: synthesize fresh random edges so
+				// long streams keep flowing (documented departure from the
+				// finite static file, needed for Fig 14b's large batches).
+				e = graph.Edge{
+					Src: graph.VertexID(r.Intn(numV)),
+					Dst: graph.VertexID(r.Intn(numV)),
+					W:   r.Weight(8),
+				}
+				if e.Src == e.Dst {
+					i--
+					continue
+				}
+			}
+			k := pair{e.Src, e.Dst}
+			if inBatch[k] {
+				continue
+			}
+			inBatch[k] = true
+			batch = append(batch, graph.Update{Edge: e})
+			addLive(e)
+		}
+		for i := 0; i < nDel && len(live) > 0; i++ {
+			idx := r.Intn(len(live))
+			e := live[idx]
+			k := pair{e.Src, e.Dst}
+			if inBatch[k] {
+				continue // never add and delete the same pair in one batch
+			}
+			inBatch[k] = true
+			removeLive(idx)
+			batch = append(batch, graph.Update{Edge: e, Del: true})
+		}
+		w.Batches = append(w.Batches, batch)
+	}
+	return w
+}
+
+// DatasetWorkload is the one-call helper used throughout the experiments:
+// generate the dataset, then build its stream.
+func DatasetWorkload(code string, sc StreamConfig) Workload {
+	cfg := Dataset(code)
+	edges := Generate(cfg)
+	return BuildWorkload(cfg.NumV, edges, sc)
+}

@@ -1,0 +1,246 @@
+// Package gio reads and writes the on-disk formats of the paper's
+// artifact: edge-tuple files for (initial) graphs and stream files of
+// batched updates, so workloads can be materialized once and replayed
+// across engines or external tools (cf. the artifact appendix: "These
+// graphs are stored as lists of edge tuples ... edge updates are then
+// stored in a file as edge streams").
+//
+// Formats (text, '#' comments ignored):
+//
+//	graph file:   "<src> <dst> <weight>" per line
+//	stream file:  "batch <n>" separators, then "a|d <src> <dst> <weight>"
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteEdges writes an edge list in the artifact's tuple format.
+func WriteEdges(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdges parses an edge-tuple file. A missing weight column defaults to
+// 1 so plain SNAP-style "src dst" files load too. It also returns the
+// number of vertices implied by the largest ID.
+func ReadEdges(r io.Reader) (edges []graph.Edge, numV int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("gio: line %d: want 'src dst [weight]', got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gio: line %d: bad source: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gio: line %d: bad destination: %v", line, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("gio: line %d: bad weight: %v", line, err)
+			}
+		}
+		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), W: w})
+		if int(src)+1 > numV {
+			numV = int(src) + 1
+		}
+		if int(dst)+1 > numV {
+			numV = int(dst) + 1
+		}
+	}
+	return edges, numV, sc.Err()
+}
+
+// WriteStream writes update batches in the artifact's stream format.
+func WriteStream(w io.Writer, batches []graph.Batch) error {
+	bw := bufio.NewWriter(w)
+	for bi, b := range batches {
+		if _, err := fmt.Fprintf(bw, "batch %d\n", bi); err != nil {
+			return err
+		}
+		for _, u := range b {
+			op := "a"
+			if u.Del {
+				op = "d"
+			}
+			if _, err := fmt.Fprintf(bw, "%s %d %d %g\n", op, u.Src, u.Dst, u.W); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStream parses a stream file into batches. Updates before the first
+// "batch" separator form batch 0.
+func ReadStream(r io.Reader) ([]graph.Batch, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var batches []graph.Batch
+	var cur graph.Batch
+	started := false
+	line := 0
+	flush := func() {
+		if started {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if strings.HasPrefix(text, "batch") {
+			flush()
+			started = true
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("gio: line %d: want 'a|d src dst [weight]', got %q", line, text)
+		}
+		var del bool
+		switch fields[0] {
+		case "a", "add":
+			del = false
+		case "d", "del", "delete":
+			del = true
+		default:
+			return nil, fmt.Errorf("gio: line %d: unknown op %q", line, fields[0])
+		}
+		src, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad source: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad destination: %v", line, err)
+		}
+		w := 1.0
+		if len(fields) >= 4 {
+			w, err = strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad weight: %v", line, err)
+			}
+		}
+		started = true
+		cur = append(cur, graph.Update{
+			Edge: graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst), W: w},
+			Del:  del,
+		})
+	}
+	flush()
+	return batches, sc.Err()
+}
+
+// ReadSeeds parses a label-propagation seeds file: "<vertex> <label>" per
+// line ('#' comments ignored) — the artifact's lj-seeds-file format.
+func ReadSeeds(r io.Reader) (map[graph.VertexID]int, error) {
+	sc := bufio.NewScanner(r)
+	out := make(map[graph.VertexID]int)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("gio: line %d: want 'vertex label', got %q", line, text)
+		}
+		v, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad vertex: %v", line, err)
+		}
+		lab, err := strconv.Atoi(fields[1])
+		if err != nil || lab < 0 {
+			return nil, fmt.Errorf("gio: line %d: bad label %q", line, fields[1])
+		}
+		out[graph.VertexID(v)] = lab
+	}
+	return out, sc.Err()
+}
+
+// LoadSeedsFile reads a seeds file from disk.
+func LoadSeedsFile(path string) (map[graph.VertexID]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSeeds(f)
+}
+
+// LoadEdgesFile reads an edge file from disk.
+func LoadEdgesFile(path string) ([]graph.Edge, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadEdges(f)
+}
+
+// LoadStreamFile reads a stream file from disk.
+func LoadStreamFile(path string) ([]graph.Batch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadStream(f)
+}
+
+// SaveEdgesFile writes an edge file to disk.
+func SaveEdgesFile(path string, edges []graph.Edge) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdges(f, edges); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SaveStreamFile writes a stream file to disk.
+func SaveStreamFile(path string, batches []graph.Batch) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteStream(f, batches); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

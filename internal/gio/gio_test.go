@@ -1,0 +1,172 @@
+package gio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := []graph.Edge{{Src: 0, Dst: 1, W: 2.5}, {Src: 7, Dst: 3, W: 1}}
+	var buf bytes.Buffer
+	if err := WriteEdges(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, numV, err := ReadEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numV != 8 {
+		t.Fatalf("numV = %d, want 8", numV)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("edges = %v", out)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("edge %d: %v vs %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadEdgesDefaultsAndComments(t *testing.T) {
+	src := "# SNAP-style\n\n0 1\n1 2 3.5\n"
+	edges, numV, err := ReadEdges(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 || numV != 3 {
+		t.Fatalf("edges=%v numV=%d", edges, numV)
+	}
+	if edges[0].W != 1 {
+		t.Fatalf("default weight = %v", edges[0].W)
+	}
+	if edges[1].W != 3.5 {
+		t.Fatalf("explicit weight = %v", edges[1].W)
+	}
+}
+
+func TestReadEdgesErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "x 1\n", "1 y\n", "1 2 z\n"} {
+		if _, _, err := ReadEdges(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadEdges(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	in := []graph.Batch{
+		{
+			{Edge: graph.Edge{Src: 1, Dst: 2, W: 3}},
+			{Edge: graph.Edge{Src: 2, Dst: 0, W: 1}, Del: true},
+		},
+		{
+			{Edge: graph.Edge{Src: 5, Dst: 4, W: 2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out[0]) != 2 || len(out[1]) != 1 {
+		t.Fatalf("stream shape wrong: %v", out)
+	}
+	if !out[0][1].Del || out[0][1].Src != 2 {
+		t.Fatalf("deletion lost: %+v", out[0][1])
+	}
+}
+
+func TestReadStreamVerboseOps(t *testing.T) {
+	src := "add 0 1 2\ndelete 1 0 1\n"
+	batches, err := ReadStream(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("batches = %v", batches)
+	}
+	if batches[0][0].Del || !batches[0][1].Del {
+		t.Fatal("verbose op names misparsed")
+	}
+}
+
+func TestReadStreamErrors(t *testing.T) {
+	for _, bad := range []string{"q 1 2 3\n", "a 1\n", "a x 2 3\n", "a 1 y 3\n", "a 1 2 z\n"} {
+		if _, err := ReadStream(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadStream(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestFileRoundTripThroughWorkload(t *testing.T) {
+	dir := t.TempDir()
+	cfg := gen.TestDataset(71)
+	edges := gen.Generate(cfg)
+	w := gen.BuildWorkload(cfg.NumV, edges, gen.DefaultStream(100, 3, 72))
+
+	ep := filepath.Join(dir, "g.edges")
+	sp := filepath.Join(dir, "g.stream")
+	if err := SaveEdgesFile(ep, w.Initial); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveStreamFile(sp, w.Batches); err != nil {
+		t.Fatal(err)
+	}
+	le, numV, err := LoadEdgesFile(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(le) != len(w.Initial) {
+		t.Fatalf("edges: %d vs %d", len(le), len(w.Initial))
+	}
+	if numV > w.NumV {
+		t.Fatalf("implied numV %d exceeds workload %d", numV, w.NumV)
+	}
+	lb, err := LoadStreamFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb) != len(w.Batches) {
+		t.Fatalf("batches: %d vs %d", len(lb), len(w.Batches))
+	}
+	// Replaying the loaded stream on the loaded graph applies cleanly.
+	g := graph.FromEdges(w.NumV, le)
+	for bi, b := range lb {
+		if applied := g.ApplyBatch(b); len(applied) != len(b) {
+			t.Fatalf("batch %d: %d/%d applied", bi, len(applied), len(b))
+		}
+	}
+}
+
+func TestLoadMissingFiles(t *testing.T) {
+	if _, _, err := LoadEdgesFile("/nonexistent/x.edges"); err == nil {
+		t.Fatal("missing edge file not reported")
+	}
+	if _, err := LoadStreamFile("/nonexistent/x.stream"); err == nil {
+		t.Fatal("missing stream file not reported")
+	}
+}
+
+func TestReadSeeds(t *testing.T) {
+	src := "# seeds\n0 1\n42 0\n"
+	seeds, err := ReadSeeds(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 || seeds[0] != 1 || seeds[42] != 0 {
+		t.Fatalf("seeds = %v", seeds)
+	}
+	for _, bad := range []string{"1\n", "x 1\n", "1 y\n", "1 -2\n"} {
+		if _, err := ReadSeeds(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ReadSeeds(%q) accepted garbage", bad)
+		}
+	}
+}

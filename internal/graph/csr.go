@@ -1,0 +1,74 @@
+package graph
+
+// CSR is an immutable compressed-sparse-row snapshot of a graph, used by the
+// static solvers and by the specialized layout builder. Both the out- and
+// in-direction are materialized because selective refinement pulls over
+// in-edges while propagation pushes over out-edges.
+type CSR struct {
+	N int
+	M int
+
+	OutPtr []int32
+	OutDst []VertexID
+	OutW   []Weight
+
+	InPtr []int32
+	InSrc []VertexID
+	InW   []Weight
+}
+
+// ToCSR snapshots the streaming graph. Adjacency within each row preserves
+// the streaming graph's current order (deterministic for a deterministic
+// update sequence).
+func (g *Streaming) ToCSR() *CSR {
+	n := g.NumVertices()
+	c := &CSR{
+		N:      n,
+		M:      g.m,
+		OutPtr: make([]int32, n+1),
+		OutDst: make([]VertexID, g.m),
+		OutW:   make([]Weight, g.m),
+		InPtr:  make([]int32, n+1),
+		InSrc:  make([]VertexID, g.m),
+		InW:    make([]Weight, g.m),
+	}
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		c.OutPtr[v] = pos
+		for _, h := range g.out[v] {
+			c.OutDst[pos] = h.To
+			c.OutW[pos] = h.W
+			pos++
+		}
+	}
+	c.OutPtr[n] = pos
+	pos = 0
+	for v := 0; v < n; v++ {
+		c.InPtr[v] = pos
+		for _, h := range g.in[v] {
+			c.InSrc[pos] = h.To
+			c.InW[pos] = h.W
+			pos++
+		}
+	}
+	c.InPtr[n] = pos
+	return c
+}
+
+// OutEdges returns the out-neighbour and weight slices of v.
+func (c *CSR) OutEdges(v VertexID) ([]VertexID, []Weight) {
+	lo, hi := c.OutPtr[v], c.OutPtr[v+1]
+	return c.OutDst[lo:hi], c.OutW[lo:hi]
+}
+
+// InEdges returns the in-neighbour and weight slices of v.
+func (c *CSR) InEdges(v VertexID) ([]VertexID, []Weight) {
+	lo, hi := c.InPtr[v], c.InPtr[v+1]
+	return c.InSrc[lo:hi], c.InW[lo:hi]
+}
+
+// OutDegree returns the out-degree of v.
+func (c *CSR) OutDegree(v VertexID) int { return int(c.OutPtr[v+1] - c.OutPtr[v]) }
+
+// InDegree returns the in-degree of v.
+func (c *CSR) InDegree(v VertexID) int { return int(c.InPtr[v+1] - c.InPtr[v]) }

@@ -1,0 +1,260 @@
+// Package graph provides the streaming-graph substrate used by every engine
+// in the GraphFly reproduction: a mutable directed weighted multigraph-free
+// adjacency structure supporting batched edge additions and deletions, plus
+// immutable CSR snapshots for static computation.
+//
+// Terminology follows the paper: a streaming graph starts from an initial
+// graph G0 and evolves by applying batches of edge updates. Vertex IDs are
+// dense integers in [0, N). Edges are directed; algorithms that need
+// undirected semantics (e.g. connected components) insert both directions.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: every ID in [0, NumVertices)
+// is a valid vertex (possibly with no edges).
+type VertexID = uint32
+
+// Weight is an edge weight. Generators produce small positive integers
+// stored as float64 so selective algorithms stay exactly comparable across
+// engines.
+type Weight = float64
+
+// Edge is a directed weighted edge.
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+	W   Weight
+}
+
+// Half is the destination half of an edge as stored in an adjacency list.
+type Half struct {
+	To VertexID
+	W  Weight
+}
+
+// Update is a single streaming mutation.
+type Update struct {
+	Edge
+	Del bool // true = deletion, false = addition
+}
+
+// Batch is an ordered set of updates applied atomically between queries.
+type Batch []Update
+
+// Additions returns the number of additions in the batch.
+func (b Batch) Additions() int {
+	n := 0
+	for _, u := range b {
+		if !u.Del {
+			n++
+		}
+	}
+	return n
+}
+
+// Deletions returns the number of deletions in the batch.
+func (b Batch) Deletions() int { return len(b) - b.Additions() }
+
+// Streaming is a mutable directed graph with both out- and in-adjacency,
+// supporting O(degree) edge deletion and O(1) amortized addition.
+//
+// Streaming is not safe for concurrent mutation of the same vertex's list;
+// ApplyBatchParallel shards work so each vertex's list is owned by exactly
+// one goroutine.
+type Streaming struct {
+	out [][]Half
+	in  [][]Half
+	m   int
+}
+
+// NewStreaming returns an empty streaming graph with n vertices.
+func NewStreaming(n int) *Streaming {
+	return &Streaming{
+		out: make([][]Half, n),
+		in:  make([][]Half, n),
+	}
+}
+
+// FromEdges builds a streaming graph with n vertices from an edge list.
+// Duplicate (src,dst) pairs are dropped (first wins) so the graph is simple.
+func FromEdges(n int, edges []Edge) *Streaming {
+	g := NewStreaming(n)
+	for _, e := range edges {
+		g.AddEdge(e)
+	}
+	return g
+}
+
+// NumVertices returns N.
+func (g *Streaming) NumVertices() int { return len(g.out) }
+
+// NumEdges returns the current number of directed edges.
+func (g *Streaming) NumEdges() int { return g.m }
+
+// OutDegree returns the out-degree of v.
+func (g *Streaming) OutDegree(v VertexID) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Streaming) InDegree(v VertexID) int { return len(g.in[v]) }
+
+// Out returns the out-adjacency of v. The slice must not be mutated and is
+// invalidated by the next batch application.
+func (g *Streaming) Out(v VertexID) []Half { return g.out[v] }
+
+// In returns the in-adjacency of v under the same aliasing rules as Out.
+func (g *Streaming) In(v VertexID) []Half { return g.in[v] }
+
+// HasEdge reports whether edge src->dst exists and returns its weight.
+func (g *Streaming) HasEdge(src, dst VertexID) (Weight, bool) {
+	for _, h := range g.out[src] {
+		if h.To == dst {
+			return h.W, true
+		}
+	}
+	return 0, false
+}
+
+// AddEdge inserts e if absent. It reports whether the edge was inserted.
+func (g *Streaming) AddEdge(e Edge) bool {
+	if _, ok := g.HasEdge(e.Src, e.Dst); ok {
+		return false
+	}
+	g.out[e.Src] = append(g.out[e.Src], Half{To: e.Dst, W: e.W})
+	g.in[e.Dst] = append(g.in[e.Dst], Half{To: e.Src, W: e.W})
+	g.m++
+	return true
+}
+
+// DeleteEdge removes src->dst if present. It reports whether an edge was
+// removed and returns its weight.
+func (g *Streaming) DeleteEdge(src, dst VertexID) (Weight, bool) {
+	w, ok := removeHalf(&g.out[src], dst)
+	if !ok {
+		return 0, false
+	}
+	if _, ok := removeHalf(&g.in[dst], src); !ok {
+		panic(fmt.Sprintf("graph: inconsistent adjacency for %d->%d", src, dst))
+	}
+	g.m--
+	return w, true
+}
+
+func removeHalf(list *[]Half, to VertexID) (Weight, bool) {
+	s := *list
+	for i, h := range s {
+		if h.To == to {
+			w := h.W
+			s[i] = s[len(s)-1]
+			*list = s[:len(s)-1]
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// ApplyBatch applies every update in order, sequentially. Additions of
+// existing edges and deletions of missing edges are ignored (idempotent
+// streams), matching how the paper's artifact samples update streams from
+// static edge lists. It returns the updates that actually took effect.
+func (g *Streaming) ApplyBatch(b Batch) Batch {
+	applied := b[:0:0]
+	for _, u := range b {
+		if u.Del {
+			if w, ok := g.DeleteEdge(u.Src, u.Dst); ok {
+				u.W = w
+				applied = append(applied, u)
+			}
+		} else {
+			if g.AddEdge(u.Edge) {
+				applied = append(applied, u)
+			}
+		}
+	}
+	return applied
+}
+
+// Clone returns a deep copy of the graph. Used by tests that compare
+// incremental engines against static recomputation on identical topologies.
+func (g *Streaming) Clone() *Streaming {
+	c := &Streaming{
+		out: make([][]Half, len(g.out)),
+		in:  make([][]Half, len(g.in)),
+		m:   g.m,
+	}
+	for i, l := range g.out {
+		c.out[i] = append([]Half(nil), l...)
+	}
+	for i, l := range g.in {
+		c.in[i] = append([]Half(nil), l...)
+	}
+	return c
+}
+
+// Edges returns all edges in deterministic (src, dst) order.
+func (g *Streaming) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for v := range g.out {
+		for _, h := range g.out[v] {
+			es = append(es, Edge{Src: VertexID(v), Dst: h.To, W: h.W})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+	return es
+}
+
+// Validate checks internal consistency (every out-edge has a matching
+// in-edge and vice versa, no duplicates) and returns an error describing the
+// first violation. It is O(N + M log M) and intended for tests.
+func (g *Streaming) Validate() error {
+	type key struct{ s, d VertexID }
+	fwd := make(map[key]Weight, g.m)
+	n := 0
+	for v := range g.out {
+		seen := make(map[VertexID]bool, len(g.out[v]))
+		for _, h := range g.out[v] {
+			if int(h.To) >= g.NumVertices() {
+				return fmt.Errorf("out-edge %d->%d exceeds vertex range", v, h.To)
+			}
+			if seen[h.To] {
+				return fmt.Errorf("duplicate out-edge %d->%d", v, h.To)
+			}
+			seen[h.To] = true
+			fwd[key{VertexID(v), h.To}] = h.W
+			n++
+		}
+	}
+	if n != g.m {
+		return fmt.Errorf("edge count mismatch: counted %d, recorded %d", n, g.m)
+	}
+	rev := 0
+	for v := range g.in {
+		seen := make(map[VertexID]bool, len(g.in[v]))
+		for _, h := range g.in[v] {
+			if seen[h.To] {
+				return fmt.Errorf("duplicate in-edge %d<-%d", v, h.To)
+			}
+			seen[h.To] = true
+			w, ok := fwd[key{h.To, VertexID(v)}]
+			if !ok {
+				return fmt.Errorf("in-edge %d<-%d has no out counterpart", v, h.To)
+			}
+			if w != h.W {
+				return fmt.Errorf("weight mismatch on %d->%d: out %v in %v", h.To, v, w, h.W)
+			}
+			rev++
+		}
+	}
+	if rev != g.m {
+		return fmt.Errorf("in-edge count mismatch: counted %d, recorded %d", rev, g.m)
+	}
+	return nil
+}

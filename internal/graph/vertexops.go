@@ -1,0 +1,33 @@
+package graph
+
+// Vertex-level updates, modeled as edge updates exactly as §II-A of the
+// paper prescribes: "a vertex deletion can be understood as deleting all
+// the edges containing this vertex. A vertex addition can be modeled by
+// adding the first edge of this vertex."
+
+// VertexDeletion returns the batch of edge deletions that removes v from
+// the current graph: every out-edge and every in-edge of v.
+func (g *Streaming) VertexDeletion(v VertexID) Batch {
+	b := make(Batch, 0, g.OutDegree(v)+g.InDegree(v))
+	for _, h := range g.Out(v) {
+		b = append(b, Update{Edge: Edge{Src: v, Dst: h.To, W: h.W}, Del: true})
+	}
+	for _, h := range g.In(v) {
+		b = append(b, Update{Edge: Edge{Src: h.To, Dst: v, W: h.W}, Del: true})
+	}
+	return b
+}
+
+// VertexAddition returns the batch that introduces a vertex through its
+// first edges. The vertex ID must already be within the graph's dense ID
+// range (graphs are sized for their maximum vertex count up front).
+func VertexAddition(v VertexID, out []Half, in []Half) Batch {
+	b := make(Batch, 0, len(out)+len(in))
+	for _, h := range out {
+		b = append(b, Update{Edge: Edge{Src: v, Dst: h.To, W: h.W}})
+	}
+	for _, h := range in {
+		b = append(b, Update{Edge: Edge{Src: h.To, Dst: v, W: h.W}})
+	}
+	return b
+}

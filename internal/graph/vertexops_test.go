@@ -1,0 +1,69 @@
+package graph
+
+import "testing"
+
+func TestVertexDeletionRemovesAllIncident(t *testing.T) {
+	g := FromEdges(5, []Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 2},
+		{Src: 3, Dst: 1, W: 3}, {Src: 3, Dst: 4, W: 4},
+	})
+	b := g.VertexDeletion(1)
+	if len(b) != 3 {
+		t.Fatalf("VertexDeletion(1) produced %d updates: %+v", len(b), b)
+	}
+	applied := g.ApplyBatch(b)
+	if len(applied) != 3 {
+		t.Fatalf("only %d deletions applied", len(applied))
+	}
+	if g.OutDegree(1) != 0 || g.InDegree(1) != 0 {
+		t.Fatal("vertex 1 still has edges")
+	}
+	if _, ok := g.HasEdge(3, 4); !ok {
+		t.Fatal("unrelated edge lost")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexDeletionIsolatedIsEmpty(t *testing.T) {
+	g := NewStreaming(3)
+	if b := g.VertexDeletion(1); len(b) != 0 {
+		t.Fatalf("isolated vertex deletion produced %+v", b)
+	}
+}
+
+func TestVertexAddition(t *testing.T) {
+	g := NewStreaming(4)
+	b := VertexAddition(2,
+		[]Half{{To: 0, W: 1}, {To: 3, W: 2}},
+		[]Half{{To: 1, W: 5}},
+	)
+	if len(b) != 3 {
+		t.Fatalf("VertexAddition produced %d updates", len(b))
+	}
+	g.ApplyBatch(b)
+	if g.OutDegree(2) != 2 || g.InDegree(2) != 1 {
+		t.Fatalf("degrees after addition: out=%d in=%d", g.OutDegree(2), g.InDegree(2))
+	}
+	if w, ok := g.HasEdge(1, 2); !ok || w != 5 {
+		t.Fatalf("in-edge wrong: %v %v", w, ok)
+	}
+}
+
+func TestVertexRoundTrip(t *testing.T) {
+	// Adding a vertex then deleting it restores the original graph.
+	g := FromEdges(4, []Edge{{Src: 0, Dst: 1, W: 1}})
+	before := g.Edges()
+	g.ApplyBatch(VertexAddition(3, []Half{{To: 0, W: 2}}, []Half{{To: 1, W: 3}}))
+	g.ApplyBatch(g.VertexDeletion(3))
+	after := g.Edges()
+	if len(before) != len(after) {
+		t.Fatalf("edge sets differ: %v vs %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package graphbolt reimplements the GraphBolt baseline (Mariappan, Vora —
+// EuroSys'19) the paper compares against for accumulative algorithms:
+// dependency-driven refinement of stored aggregation values followed by
+// Bulk Synchronous Parallel recomputation. Like GraphFly's accumulative
+// engine it maintains agg(v) = Σ w·lastUnit(u); unlike GraphFly it runs
+// frontier supersteps with a global barrier per step over globally
+// scattered state — the synchronization and locality costs GraphFly's
+// dependency-flows remove.
+package graphbolt
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/cachesim"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+// Engine is a GraphBolt-style BSP incremental engine.
+type Engine struct {
+	G   *graph.Streaming
+	Alg algo.Accumulative
+	cfg engine.Config
+
+	dim      int
+	state    *layout.Store
+	agg      *layout.Store
+	lastUnit *layout.Store
+	outW     []float64
+
+	dirty    []uint32 // atomic flags: state must be re-derived
+	needPush []uint32 // atomic flags: broadcast is stale
+
+	probe    cachesim.Probe
+	profiled bool
+	outIdx   *layout.EdgeIndex
+
+	pushes atomic.Int64 // edge-level delta broadcasts (stats)
+}
+
+// New builds the engine and converges the initial graph with supersteps.
+func New(g *graph.Streaming, alg algo.Accumulative, cfg engine.Config) *Engine {
+	e := &Engine{
+		G:   g,
+		Alg: alg,
+		cfg: cfg,
+		dim: alg.Dim(),
+	}
+	if cfg.Probe == nil {
+		e.probe = cachesim.Nop{}
+	} else {
+		e.probe = cfg.Probe
+	}
+	_, e.profiled = e.probe.(*cachesim.Sim)
+	n := g.NumVertices()
+	e.state = layout.NewScatteredStore(n, e.dim)
+	e.agg = layout.NewScatteredStore(n, e.dim)
+	e.lastUnit = layout.NewScatteredStore(n, e.dim)
+	e.outW = make([]float64, n)
+	e.dirty = make([]uint32, n)
+	e.needPush = make([]uint32, n)
+	buf := make([]float64, e.dim)
+	frontier := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, h := range g.Out(graph.VertexID(v)) {
+			e.outW[v] += h.W
+		}
+		e.Alg.Base(graph.VertexID(v), buf)
+		e.state.SetVec(uint32(v), buf)
+		e.needPush[v] = 1
+		frontier[v] = uint32(v)
+	}
+	e.refreshEdgeIndex()
+	e.supersteps(frontier)
+	return e
+}
+
+func (e *Engine) workers() int { return e.cfg.Workers }
+
+func (e *Engine) refreshEdgeIndex() {
+	if !e.profiled {
+		return
+	}
+	e.outIdx = layout.NewEdgeIndex(e.G, nil, false)
+}
+
+// State copies v's state vector.
+func (e *Engine) State(v graph.VertexID) []float64 {
+	return e.state.GetVec(uint32(v), make([]float64, e.dim))
+}
+
+// Values returns all states row-major.
+func (e *Engine) Values() []float64 {
+	n := e.G.NumVertices()
+	out := make([]float64, n*e.dim)
+	for v := 0; v < n; v++ {
+		e.state.GetVec(uint32(v), out[v*e.dim:(v+1)*e.dim])
+	}
+	return out
+}
+
+// ProcessBatch applies the batch with GraphBolt's protocol: refine stored
+// aggregates for changed edges, global barrier, then BSP supersteps.
+func (e *Engine) ProcessBatch(batch graph.Batch) engine.BatchStats {
+	var st engine.BatchStats
+	t0 := time.Now()
+	e.probe.BeginBatch()
+	if e.Alg.Symmetric() {
+		batch = engine.Symmetrize(batch)
+	}
+
+	tApply := time.Now()
+	applied := e.G.ApplyBatchParallel(batch, e.cfg.Workers)
+	st.Applied = len(applied)
+	st.ApplyTime = time.Since(tApply)
+	e.refreshEdgeIndex()
+	for _, u := range applied {
+		if u.Del {
+			e.outW[u.Src] -= u.W
+			if e.outW[u.Src] < 0 {
+				e.outW[u.Src] = 0
+			}
+		} else {
+			e.outW[u.Src] += u.W
+		}
+	}
+
+	// ---- Phase 1: dependency-driven aggregate refinement. ----
+	tTrim := time.Now()
+	e.probe.SetPhase(cachesim.PhaseRefine)
+	var frontier []uint32
+	seed := func(v uint32) {
+		frontier = append(frontier, v)
+	}
+	unit := make([]float64, e.dim)
+	for _, u := range applied {
+		if e.profiled {
+			e.probe.Access(e.lastUnit.Addr(uint32(u.Src)), false, cachesim.ClassVertex)
+			e.probe.Access(e.agg.Addr(uint32(u.Dst)), true, cachesim.ClassVertex)
+		}
+		e.lastUnit.GetVec(uint32(u.Src), unit)
+		sign := 1.0
+		if u.Del {
+			sign = -1
+		}
+		for d := 0; d < e.dim; d++ {
+			if unit[d] != 0 {
+				e.agg.AddAt(uint32(u.Dst), d, sign*u.W*unit[d])
+			}
+		}
+		if atomic.SwapUint32(&e.dirty[u.Dst], 1) == 0 {
+			seed(uint32(u.Dst))
+		}
+		if atomic.SwapUint32(&e.needPush[u.Src], 1) == 0 {
+			seed(uint32(u.Src))
+		}
+		st.Trimmed++
+	}
+	st.TrimTime = time.Since(tTrim)
+
+	// ---- Global barrier, then Phase 2: BSP supersteps. ----
+	tComp := time.Now()
+	e.pushes.Store(0)
+	rounds := e.supersteps(frontier)
+	st.Levels = rounds
+	st.Relaxations = e.pushes.Load()
+	st.ComputeTime = time.Since(tComp)
+	st.Total = time.Since(t0)
+	return st
+}
+
+// supersteps runs synchronous rounds until the frontier empties, returning
+// the number of rounds. Each round: (a) re-derive states of dirty frontier
+// vertices, (b) barrier, (c) broadcast contribution deltas of stale
+// vertices and build the next frontier, (d) barrier.
+func (e *Engine) supersteps(frontier []uint32) int {
+	rounds := 0
+	inNext := make([]uint32, e.G.NumVertices())
+	for len(frontier) > 0 {
+		rounds++
+		// (a) State re-derivation.
+		graph.ParallelFor(len(frontier), e.workers(), func(lo, hi int) {
+			p := e.probe.Fork()
+			p.SetPhase(cachesim.PhaseRecompute)
+			base := make([]float64, e.dim)
+			aggBuf := make([]float64, e.dim)
+			oldSt := make([]float64, e.dim)
+			newSt := make([]float64, e.dim)
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				if atomic.SwapUint32(&e.dirty[v], 0) == 0 {
+					continue
+				}
+				if e.profiled {
+					p.Access(e.agg.Addr(v), false, cachesim.ClassVertex)
+					p.Access(e.state.Addr(v), true, cachesim.ClassVertex)
+				}
+				e.Alg.Base(graph.VertexID(v), base)
+				e.agg.GetVec(v, aggBuf)
+				e.state.GetVec(v, oldSt)
+				e.Alg.Update(base, aggBuf, newSt)
+				maxDelta := 0.0
+				for d := 0; d < e.dim; d++ {
+					if dd := math.Abs(newSt[d] - oldSt[d]); dd > maxDelta {
+						maxDelta = dd
+					}
+				}
+				e.state.SetVec(v, newSt)
+				if maxDelta > e.Alg.Epsilon() {
+					atomic.StoreUint32(&e.needPush[v], 1)
+				}
+			}
+		})
+		// (b) barrier (implicit in ParallelFor), (c) delta broadcast.
+		var next []uint32
+		var nextMu sync.Mutex
+		graph.ParallelFor(len(frontier), e.workers(), func(lo, hi int) {
+			p := e.probe.Fork()
+			p.SetPhase(cachesim.PhaseRecompute)
+			newSt := make([]float64, e.dim)
+			newU := make([]float64, e.dim)
+			oldU := make([]float64, e.dim)
+			local := make([]uint32, 0, 64)
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				if atomic.SwapUint32(&e.needPush[v], 0) == 0 {
+					continue
+				}
+				if e.profiled {
+					p.Access(e.state.Addr(v), false, cachesim.ClassVertex)
+					p.Access(e.lastUnit.Addr(v), true, cachesim.ClassVertex)
+				}
+				e.state.GetVec(v, newSt)
+				e.Alg.Unit(newSt, e.outW[v], newU)
+				e.lastUnit.GetVec(v, oldU)
+				changed := false
+				for d := 0; d < e.dim; d++ {
+					if newU[d] != oldU[d] {
+						changed = true
+						break
+					}
+				}
+				if !changed {
+					continue
+				}
+				e.lastUnit.SetVec(v, newU)
+				e.pushes.Add(int64(e.G.OutDegree(graph.VertexID(v))))
+				for j, h := range e.G.Out(graph.VertexID(v)) {
+					if e.profiled {
+						p.Access(e.outIdx.Addr(v, j), false, cachesim.ClassEdge)
+						p.Access(e.agg.Addr(uint32(h.To)), true, cachesim.ClassVertex)
+					}
+					w := uint32(h.To)
+					for d := 0; d < e.dim; d++ {
+						if delta := h.W * (newU[d] - oldU[d]); delta != 0 {
+							e.agg.AddAt(w, d, delta)
+						}
+					}
+					atomic.StoreUint32(&e.dirty[w], 1)
+					if atomic.SwapUint32(&inNext[w], 1) == 0 {
+						local = append(local, w)
+					}
+				}
+			}
+			if len(local) > 0 {
+				nextMu.Lock()
+				next = append(next, local...)
+				nextMu.Unlock()
+			}
+		})
+		for _, w := range next {
+			atomic.StoreUint32(&inNext[w], 0)
+		}
+		frontier = next
+	}
+	return rounds
+}

@@ -1,0 +1,98 @@
+package graphbolt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/cachesim"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+const tolerance = 1e-5
+
+func check(t *testing.T, alg algo.Accumulative, cfg engine.Config, w gen.Workload) {
+	t.Helper()
+	g := graph.FromEdges(w.NumV, w.Initial)
+	e := New(g, alg, cfg)
+	ref := g.Clone()
+	verify := func(batch int) {
+		want := algo.SolveAccumulative(ref, alg)
+		got := e.Values()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > tolerance {
+				t.Fatalf("%s batch %d: component %d = %v, want %v", alg.Name(), batch, i, got[i], want[i])
+			}
+		}
+	}
+	verify(-1)
+	for bi, b := range w.Batches {
+		e.ProcessBatch(b)
+		ref.ApplyBatch(b)
+		verify(bi)
+	}
+}
+
+func workload(seed uint64, batches int) gen.Workload {
+	cfg := gen.TestDataset(seed)
+	cfg.NumV, cfg.NumE = 256, 1500
+	edges := gen.Generate(cfg)
+	return gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.5, DeleteRatio: 0.3, BatchSize: 120,
+		NumBatches: batches, Seed: seed + 2,
+	})
+}
+
+func TestGraphBoltPageRank(t *testing.T) {
+	w := workload(51, 5)
+	check(t, algo.NewPageRank(w.NumV), engine.Config{Workers: 4}, w)
+}
+
+func TestGraphBoltLP(t *testing.T) {
+	w := workload(52, 4)
+	seeds := map[graph.VertexID]int{}
+	for i := 0; i < 8; i++ {
+		seeds[graph.VertexID(i*13%w.NumV)] = i % 4
+	}
+	check(t, algo.NewLabelPropagation(4, seeds), engine.Config{Workers: 4}, w)
+}
+
+func TestGraphBoltSingleWorker(t *testing.T) {
+	w := workload(53, 3)
+	check(t, algo.NewPageRank(w.NumV), engine.Config{Workers: 1}, w)
+}
+
+func TestGraphBoltDeletionHeavy(t *testing.T) {
+	cfg := gen.TestDataset(54)
+	cfg.NumV, cfg.NumE = 200, 1200
+	edges := gen.Generate(cfg)
+	w := gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.7, DeleteRatio: 0.8, BatchSize: 100, NumBatches: 4, Seed: 55,
+	})
+	check(t, algo.NewPageRank(w.NumV), engine.Config{Workers: 4}, w)
+}
+
+func TestGraphBoltProfiledRedundancy(t *testing.T) {
+	sim := cachesim.NewSim(cachesim.DefaultConfig())
+	w := workload(56, 2)
+	check(t, algo.NewPageRank(w.NumV), engine.Config{Workers: 2, Probe: sim}, w)
+	st := sim.Drain()
+	if st.Total() == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	if st.PhaseAccesses[cachesim.PhaseRefine] == 0 {
+		t.Fatal("refine phase recorded nothing")
+	}
+}
+
+func TestGraphBoltStats(t *testing.T) {
+	w := workload(57, 1)
+	g := graph.FromEdges(w.NumV, w.Initial)
+	e := New(g, algo.NewPageRank(w.NumV), engine.Config{Workers: 2})
+	st := e.ProcessBatch(w.Batches[0])
+	if st.Applied == 0 || st.Total <= 0 || st.Levels == 0 {
+		t.Fatalf("stats incomplete: %+v", st)
+	}
+}

@@ -1,0 +1,290 @@
+// Package kickstarter reimplements the KickStarter baseline (Vora, Gupta,
+// Xu — ASPLOS'17) the paper compares against for monotonic algorithms:
+// value-dependence tracking, trimming of approximations broken by edge
+// deletions, and incremental recomputation — with the defining structural
+// property GraphFly removes: a global synchronization barrier between the
+// refinement phase and the recomputation phase, and bulk-synchronous
+// frontier rounds over globally scattered vertex state.
+//
+// The engine runs the same algorithm contracts, graph substrate, and memory
+// probes as GraphFly, so measured differences isolate the execution model
+// (the paper's claim in §VII-B).
+package kickstarter
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/cachesim"
+	"repro/internal/engine"
+	"repro/internal/etree"
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+// Engine is a KickStarter-style incremental engine for selective
+// algorithms.
+type Engine struct {
+	G   *graph.Streaming
+	Alg algo.Selective
+	cfg engine.Config
+
+	vals    *layout.Store // scattered: global vertex-ID order
+	parent  []int32
+	trimmed []uint32 // atomic flags
+	kf      *etree.KeyForest
+
+	probe    cachesim.Probe
+	profiled bool
+	outIdx   *layout.EdgeIndex
+	inIdx    *layout.EdgeIndex
+
+	inFrontier []uint32 // atomic flags for frontier dedup
+}
+
+// New builds the engine and computes the initial graph statically,
+// recording the dependence tree.
+func New(g *graph.Streaming, alg algo.Selective, cfg engine.Config) *Engine {
+	e := &Engine{
+		G:     g,
+		Alg:   alg,
+		cfg:   cfg,
+		probe: cfgProbe(cfg),
+		kf:    etree.NewKeyForest(g.NumVertices()),
+	}
+	_, e.profiled = e.probe.(*cachesim.Sim)
+	vals, parent := algo.SolveSelective(g, alg)
+	e.parent = parent
+	n := g.NumVertices()
+	e.vals = layout.NewScatteredStore(n, 1)
+	for v, x := range vals {
+		e.vals.Set(uint32(v), x)
+	}
+	e.trimmed = make([]uint32, n)
+	e.inFrontier = make([]uint32, n)
+	e.refreshEdgeIndex()
+	return e
+}
+
+func cfgProbe(cfg engine.Config) cachesim.Probe {
+	if cfg.Probe == nil {
+		return cachesim.Nop{}
+	}
+	return cfg.Probe
+}
+
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return 0 // graph.ParallelFor resolves GOMAXPROCS
+}
+
+func (e *Engine) refreshEdgeIndex() {
+	if !e.profiled {
+		return
+	}
+	e.outIdx = layout.NewEdgeIndex(e.G, nil, false)
+	e.inIdx = layout.NewInEdgeIndex(e.G, nil, false)
+}
+
+// Value returns v's converged value.
+func (e *Engine) Value(v graph.VertexID) float64 { return e.vals.Get(uint32(v)) }
+
+// Values copies all values.
+func (e *Engine) Values() []float64 {
+	out := make([]float64, e.G.NumVertices())
+	for v := range out {
+		out[v] = e.vals.Get(uint32(v))
+	}
+	return out
+}
+
+// ProcessBatch applies the batch with KickStarter's two-phase protocol:
+// tag + trim (refinement), global barrier, then bulk-synchronous pull
+// rounds until quiescence (recomputation).
+func (e *Engine) ProcessBatch(batch graph.Batch) engine.BatchStats {
+	var st engine.BatchStats
+	t0 := time.Now()
+	e.probe.BeginBatch()
+	if e.Alg.Symmetric() {
+		batch = engine.Symmetrize(batch)
+	}
+
+	tApply := time.Now()
+	applied := e.G.ApplyBatchParallel(batch, e.cfg.Workers)
+	st.Applied = len(applied)
+	st.ApplyTime = time.Since(tApply)
+	e.refreshEdgeIndex()
+
+	tMaint := time.Now()
+	e.kf.BulkLoad(e.parent)
+	st.MaintainTime = time.Since(tMaint)
+
+	// ---- Phase 1: refinement (tag + trim). ----
+	tTrim := time.Now()
+	e.probe.SetPhase(cachesim.PhaseRefine)
+	var trimmedList []uint32
+	for _, u := range applied {
+		if !u.Del || e.parent[u.Dst] != int32(u.Src) {
+			continue
+		}
+		st.TrimRoots++
+		e.kf.Subtree(uint32(u.Dst), func(x uint32) bool {
+			if atomic.SwapUint32(&e.trimmed[x], 1) != 0 {
+				return false
+			}
+			e.parent[x] = -1
+			trimmedList = append(trimmedList, x)
+			return true
+		})
+	}
+	st.Trimmed = len(trimmedList)
+
+	// Reset every trimmed vertex to a safe approximation: the best value
+	// reachable from untrimmed in-neighbours (all trimmed values stay
+	// invisible until the barrier, so the approximation is conservative).
+	// A reset can also *improve* on the pre-batch value when the batch
+	// added a good edge into the trimmed region; such resets must notify
+	// their out-neighbours, so they are recorded in resetImproved.
+	resetImproved := make([]uint32, len(trimmedList))
+	graph.ParallelFor(len(trimmedList), e.workers(), func(lo, hi int) {
+		p := e.probe.Fork()
+		p.SetPhase(cachesim.PhaseRefine)
+		for i := lo; i < hi; i++ {
+			v := trimmedList[i]
+			best := e.Alg.Base(graph.VertexID(v))
+			bestParent := int32(-1)
+			for j, h := range e.G.In(graph.VertexID(v)) {
+				if e.profiled {
+					p.Access(e.inIdx.Addr(v, j), false, cachesim.ClassEdge)
+				}
+				if atomic.LoadUint32(&e.trimmed[h.To]) != 0 {
+					continue
+				}
+				if e.profiled {
+					p.Access(e.vals.Addr(uint32(h.To)), false, cachesim.ClassVertex)
+				}
+				cand := e.Alg.Propagate(e.vals.Get(uint32(h.To)), h.W)
+				if e.Alg.Better(cand, best) {
+					best = cand
+					bestParent = int32(h.To)
+				}
+			}
+			if e.profiled {
+				p.Access(e.vals.Addr(v), true, cachesim.ClassVertex)
+			}
+			if e.Alg.Better(best, e.vals.Get(v)) {
+				resetImproved[i] = 1
+			}
+			e.vals.Set(v, best)
+			e.parent[v] = bestParent
+		}
+	})
+	// ---- Global barrier: refinement complete before recomputation. ----
+	for _, v := range trimmedList {
+		atomic.StoreUint32(&e.trimmed[v], 0)
+	}
+	st.TrimTime = time.Since(tTrim)
+
+	// ---- Phase 2: bulk-synchronous recomputation. ----
+	tComp := time.Now()
+	e.probe.SetPhase(cachesim.PhaseRecompute)
+	frontier := make([]uint32, 0, len(trimmedList))
+	push := func(v uint32) {
+		if atomic.SwapUint32(&e.inFrontier[v], 1) == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	// Trimmed vertices must re-derive; addition targets may improve; the
+	// out-neighbours of improved resets must observe the better value.
+	for i, v := range trimmedList {
+		push(v)
+		if resetImproved[i] != 0 {
+			for _, h := range e.G.Out(graph.VertexID(v)) {
+				push(uint32(h.To))
+			}
+		}
+	}
+	for _, u := range applied {
+		if !u.Del {
+			push(uint32(u.Dst))
+		}
+	}
+
+	rounds := 0
+	var relaxations atomic.Int64
+	for len(frontier) > 0 {
+		rounds++
+		// (a) Pull-update every frontier vertex in parallel.
+		improved := make([]uint32, len(frontier))
+		graph.ParallelFor(len(frontier), e.workers(), func(lo, hi int) {
+			p := e.probe.Fork()
+			p.SetPhase(cachesim.PhaseRecompute)
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				atomic.StoreUint32(&e.inFrontier[v], 0)
+				cur := e.vals.Get(v)
+				best := cur
+				bestParent := e.parent[v]
+				in := e.G.In(graph.VertexID(v))
+				relaxations.Add(int64(len(in)))
+				for j, h := range in {
+					if e.profiled {
+						p.Access(e.inIdx.Addr(v, j), false, cachesim.ClassEdge)
+						p.Access(e.vals.Addr(uint32(h.To)), false, cachesim.ClassVertex)
+					}
+					cand := e.Alg.Propagate(e.vals.Get(uint32(h.To)), h.W)
+					if e.Alg.Better(cand, best) {
+						best = cand
+						bestParent = int32(h.To)
+					}
+				}
+				if e.Alg.Better(best, cur) {
+					if e.profiled {
+						p.Access(e.vals.Addr(v), true, cachesim.ClassVertex)
+					}
+					e.vals.Set(v, best)
+					e.parent[v] = bestParent
+					improved[i] = 1
+				}
+			}
+		})
+		// (b) Barrier, then build the next frontier from improved vertices.
+		next := make([]uint32, 0)
+		var nextMu sync.Mutex
+		graph.ParallelFor(len(frontier), e.workers(), func(lo, hi int) {
+			p := e.probe.Fork()
+			p.SetPhase(cachesim.PhaseRecompute)
+			local := make([]uint32, 0, 64)
+			for i := lo; i < hi; i++ {
+				if improved[i] == 0 {
+					continue
+				}
+				v := frontier[i]
+				for j, h := range e.G.Out(graph.VertexID(v)) {
+					if e.profiled {
+						p.Access(e.outIdx.Addr(v, j), false, cachesim.ClassEdge)
+					}
+					w := uint32(h.To)
+					if atomic.SwapUint32(&e.inFrontier[w], 1) == 0 {
+						local = append(local, w)
+					}
+				}
+			}
+			if len(local) > 0 {
+				nextMu.Lock()
+				next = append(next, local...)
+				nextMu.Unlock()
+			}
+		})
+		frontier = next
+	}
+	st.Relaxations = relaxations.Load()
+	st.Levels = rounds
+	st.ComputeTime = time.Since(tComp)
+	st.Total = time.Since(t0)
+	return st
+}

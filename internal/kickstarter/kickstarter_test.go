@@ -1,0 +1,107 @@
+package kickstarter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/cachesim"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func check(t *testing.T, alg algo.Selective, cfg engine.Config, w gen.Workload) {
+	t.Helper()
+	initial := w.Initial
+	if alg.Symmetric() {
+		var both []graph.Edge
+		for _, e := range initial {
+			both = append(both, e, graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+		}
+		initial = both
+	}
+	g := graph.FromEdges(w.NumV, initial)
+	e := New(g, alg, cfg)
+	ref := g.Clone()
+	for bi, b := range w.Batches {
+		e.ProcessBatch(b)
+		rb := b
+		if alg.Symmetric() {
+			rb = engine.Symmetrize(b)
+		}
+		ref.ApplyBatch(rb)
+		want, _ := algo.SolveSelective(ref, alg)
+		got := e.Values()
+		for v := range want {
+			if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+				t.Fatalf("%s batch %d: vertex %d = %v, want %v", alg.Name(), bi, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func workload(seed uint64, batches int) gen.Workload {
+	cfg := gen.TestDataset(seed)
+	edges := gen.Generate(cfg)
+	return gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.5, DeleteRatio: 0.3, BatchSize: 200,
+		NumBatches: batches, Seed: seed + 1,
+	})
+}
+
+func TestKickStarterSSSP(t *testing.T) {
+	check(t, algo.SSSP{Src: 0}, engine.Config{Workers: 4}, workload(41, 6))
+}
+
+func TestKickStarterBFS(t *testing.T) {
+	check(t, algo.BFS{Src: 0}, engine.Config{Workers: 4}, workload(42, 5))
+}
+
+func TestKickStarterSSWP(t *testing.T) {
+	check(t, algo.SSWP{Src: 0}, engine.Config{Workers: 4}, workload(43, 5))
+}
+
+func TestKickStarterCC(t *testing.T) {
+	check(t, algo.CC{}, engine.Config{Workers: 4}, workload(44, 5))
+}
+
+func TestKickStarterSingleWorker(t *testing.T) {
+	check(t, algo.SSSP{Src: 0}, engine.Config{Workers: 1}, workload(45, 4))
+}
+
+func TestKickStarterDeletionHeavy(t *testing.T) {
+	cfg := gen.TestDataset(46)
+	edges := gen.Generate(cfg)
+	w := gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.7, DeleteRatio: 0.8, BatchSize: 150, NumBatches: 5, Seed: 47,
+	})
+	check(t, algo.SSSP{Src: 0}, engine.Config{Workers: 4}, w)
+}
+
+func TestKickStarterProfiledPhases(t *testing.T) {
+	sim := cachesim.NewSim(cachesim.DefaultConfig())
+	check(t, algo.SSSP{Src: 0}, engine.Config{Workers: 2, Probe: sim}, workload(48, 3))
+	st := sim.Drain()
+	if st.Total() == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	// The two-phase engine must exhibit cross-phase redundancy: that is the
+	// paper's Fig 4a phenomenon.
+	if st.PhaseAccesses[cachesim.PhaseRefine] == 0 || st.PhaseAccesses[cachesim.PhaseRecompute] == 0 {
+		t.Fatalf("phases not populated: %+v", st.PhaseAccesses)
+	}
+	if st.Redundant == 0 {
+		t.Fatal("two-phase execution showed no redundant accesses")
+	}
+}
+
+func TestKickStarterStats(t *testing.T) {
+	w := workload(49, 1)
+	g := graph.FromEdges(w.NumV, w.Initial)
+	e := New(g, algo.SSSP{Src: 0}, engine.Config{Workers: 2})
+	st := e.ProcessBatch(w.Batches[0])
+	if st.Applied == 0 || st.Total <= 0 {
+		t.Fatalf("stats incomplete: %+v", st)
+	}
+}

@@ -1,0 +1,192 @@
+package layout
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/dflow"
+	"repro/internal/etree"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func buildParts(t *testing.T) (*graph.Streaming, *dflow.Partition) {
+	t.Helper()
+	cfg := gen.TestDataset(5)
+	g := graph.FromEdges(cfg.NumV, gen.Generate(cfg))
+	f := etree.NewForest(g, etree.Forward)
+	p := dflow.NewPartition(f, 32)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	_, p := buildParts(t)
+	s := NewFlowStore(p, 1)
+	for v := uint32(0); int(v) < s.Len(); v += 7 {
+		s.Set(v, float64(v)*1.5)
+	}
+	for v := uint32(0); int(v) < s.Len(); v += 7 {
+		if got := s.Get(v); got != float64(v)*1.5 {
+			t.Fatalf("Get(%d) = %v", v, got)
+		}
+	}
+}
+
+func TestSlotBijection(t *testing.T) {
+	_, p := buildParts(t)
+	s := NewFlowStore(p, 1)
+	seen := make([]bool, s.Len())
+	for v := uint32(0); int(v) < s.Len(); v++ {
+		sl := s.Slot(v)
+		if seen[sl] {
+			t.Fatalf("slot %d assigned twice", sl)
+		}
+		seen[sl] = true
+		if s.VertexAt(sl) != v {
+			t.Fatalf("VertexAt(Slot(%d)) = %d", v, s.VertexAt(sl))
+		}
+	}
+}
+
+func TestFlowStoreBlocksAreContiguous(t *testing.T) {
+	_, p := buildParts(t)
+	s := NewFlowStore(p, 1)
+	for f := int32(0); int(f) < p.NumFlows(); f++ {
+		members := p.Members(f)
+		for i := 1; i < len(members); i++ {
+			if s.Slot(members[i]) != s.Slot(members[i-1])+1 {
+				t.Fatalf("flow %d not contiguous at member %d", f, i)
+			}
+		}
+	}
+}
+
+func TestScatteredStoreIdentity(t *testing.T) {
+	s := NewScatteredStore(10, 1)
+	for v := uint32(0); v < 10; v++ {
+		if s.Slot(v) != int32(v) {
+			t.Fatalf("scattered slot(%d) = %d", v, s.Slot(v))
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	s := NewScatteredStore(4, 3)
+	s.SetVec(2, []float64{1, 2, 3})
+	buf := make([]float64, 3)
+	got := s.GetVec(2, buf)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("GetVec = %v", got)
+	}
+	if s.GetAt(2, 1) != 2 {
+		t.Fatalf("GetAt = %v", s.GetAt(2, 1))
+	}
+	s.SetAt(2, 1, 9)
+	if s.GetAt(2, 1) != 9 {
+		t.Fatal("SetAt lost the write")
+	}
+	// Other vertices untouched.
+	if s.GetAt(1, 0) != 0 {
+		t.Fatal("write leaked to another vertex")
+	}
+}
+
+func TestFill(t *testing.T) {
+	s := NewScatteredStore(8, 2)
+	s.Fill(3.25)
+	for v := uint32(0); v < 8; v++ {
+		for d := 0; d < 2; d++ {
+			if s.GetAt(v, d) != 3.25 {
+				t.Fatalf("Fill missed (%d,%d)", v, d)
+			}
+		}
+	}
+}
+
+func TestConcurrentAccessIsRaceFree(t *testing.T) {
+	// Run with -race: concurrent Set/Get through atomics must not trip it.
+	s := NewScatteredStore(64, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v := uint32((w*17 + i) % 64)
+				s.Set(v, float64(i))
+				_ = s.Get((v + 1) % 64)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestAddrRegionsDisjoint(t *testing.T) {
+	g, p := buildParts(t)
+	s := NewFlowStore(p, 1)
+	e := NewEdgeIndex(g, p, true)
+	if s.Addr(0) >= EdgeRegion {
+		t.Fatal("value address escaped its region")
+	}
+	if a := e.Addr(0, 0); a < EdgeRegion || a >= MetaRegion {
+		t.Fatalf("edge address %x outside its region", a)
+	}
+}
+
+// The central claim of Fig 13: walking a flow's vertices under the
+// specialized layout produces far fewer cache misses than under the
+// scattered layout.
+func TestFlowBlockedLocalityBeatsScattered(t *testing.T) {
+	_, p := buildParts(t)
+	flowStore := NewFlowStore(p, 1)
+	scatStore := NewScatteredStore(len(p.FlowOf), 1)
+
+	count := func(s *Store) uint64 {
+		// Deliberately tiny cache so the access *pattern* decides the miss
+		// count (the full 512-vertex value array would fit in 4 KiB).
+		sim := cachesim.NewSim(cachesim.Config{SizeBytes: 512, LineBytes: 64, Ways: 2})
+		for f := int32(0); int(f) < p.NumFlows(); f++ {
+			for _, v := range p.Members(f) {
+				sim.Access(s.Addr(v), false, cachesim.ClassVertex)
+			}
+		}
+		return sim.Drain().Misses
+	}
+	fm, sm := count(flowStore), count(scatStore)
+	if fm*2 > sm {
+		t.Fatalf("flow-blocked misses %d not well below scattered %d", fm, sm)
+	}
+}
+
+func TestEdgeIndexCoversAllEdges(t *testing.T) {
+	g, p := buildParts(t)
+	for _, blocked := range []bool{true, false} {
+		e := NewEdgeIndex(g, p, blocked)
+		seen := map[uint64]bool{}
+		for v := 0; v < g.NumVertices(); v++ {
+			for i := 0; i < g.OutDegree(graph.VertexID(v)); i++ {
+				a := e.Addr(uint32(v), i)
+				if seen[a] {
+					t.Fatalf("blocked=%v: edge slot address %x reused", blocked, a)
+				}
+				seen[a] = true
+			}
+		}
+		if len(seen) != g.NumEdges() {
+			t.Fatalf("blocked=%v: %d edge slots for %d edges", blocked, len(seen), g.NumEdges())
+		}
+	}
+}
+
+func BenchmarkStoreGetSet(b *testing.B) {
+	s := NewScatteredStore(1<<16, 1)
+	for i := 0; i < b.N; i++ {
+		v := uint32(i) & (1<<16 - 1)
+		s.Set(v, float64(i))
+		_ = s.Get(v)
+	}
+}

@@ -1,0 +1,164 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used across the GraphFly reproduction. Every experiment in the
+// repository is seeded explicitly so that graph generation, stream sampling,
+// and scheduling decisions are reproducible run to run.
+//
+// The package implements SplitMix64 (for seeding and cheap one-shot mixing)
+// and xoshiro256** (for bulk generation). Both are public-domain algorithms
+// by Blackman and Vigna.
+package rng
+
+import "math"
+
+// SplitMix64 is a tiny 64-bit generator with a single word of state. It is
+// primarily used to expand a user seed into the larger state of Xoshiro256,
+// and for cheap stateless hashing of integers.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a high-quality
+// stateless mixing function: distinct inputs produce well-distributed
+// outputs, which makes it suitable for hashing vertex IDs into cache sets or
+// deriving per-worker seeds.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 is the xoshiro256** generator: fast, 256 bits of state, and
+// equidistributed enough for simulation workloads. The zero value is invalid;
+// construct with New.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 generator seeded from seed via SplitMix64, as
+// recommended by the algorithm's authors.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint32 returns 32 random bits.
+func (x *Xoshiro256) Uint32() uint32 { return uint32(x.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method, which avoids the modulo bias of naive reduction.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return x.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits.
+	threshold := -n % n
+	for {
+		v := x.Uint64()
+		if v >= threshold {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Weight returns a uniform edge weight in [1, maxW]. Integral weights keep
+// shortest-path results exactly comparable across engines.
+func (x *Xoshiro256) Weight(maxW int) float64 {
+	if maxW <= 1 {
+		return 1
+	}
+	return float64(1 + x.Intn(maxW))
+}
+
+// Exp returns an exponentially distributed value with the given mean. Used
+// by the distributed cost model for message service times.
+func (x *Xoshiro256) Exp(mean float64) float64 {
+	u := x.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (x *Xoshiro256) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using the provided
+// swap function, matching the contract of math/rand.Shuffle.
+func (x *Xoshiro256) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent generator from the current one. Each worker in
+// a parallel phase forks its own stream so results do not depend on
+// goroutine interleaving.
+func (x *Xoshiro256) Fork() *Xoshiro256 {
+	return New(x.Uint64() ^ 0xd1342543de82ef95)
+}

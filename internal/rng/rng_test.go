@@ -1,0 +1,228 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMixDeterminism(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("SplitMix64 diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMixDistinctSeeds(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d times in 100 draws", same)
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		m := Mix64(i)
+		if prev, ok := seen[m]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %d", prev, i, m)
+		}
+		seen[m] = i
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("xoshiro diverged at step %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := New(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	x := New(11)
+	for i := 0; i < 1000; i++ {
+		v := x.Uint64n(64)
+		if v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(5)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	x := New(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += x.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestWeightRange(t *testing.T) {
+	x := New(13)
+	for i := 0; i < 1000; i++ {
+		w := x.Weight(10)
+		if w < 1 || w > 10 || w != math.Trunc(w) {
+			t.Fatalf("Weight(10) = %v", w)
+		}
+	}
+	if w := x.Weight(0); w != 1 {
+		t.Fatalf("Weight(0) = %v, want 1", w)
+	}
+}
+
+func TestExpPositiveAndMean(t *testing.T) {
+	x := New(17)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		e := x.Exp(2.0)
+		if e < 0 {
+			t.Fatalf("Exp returned negative %v", e)
+		}
+		sum += e
+	}
+	mean := sum / n
+	if math.Abs(mean-2.0) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~2", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := New(21)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := x.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	x := New(23)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	x.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	sum2 := 0
+	for _, v := range s {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("Shuffle lost elements: %v", s)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	x := New(29)
+	f := x.Fork()
+	// The fork and the parent should not produce identical streams.
+	identical := true
+	for i := 0; i < 64; i++ {
+		if x.Uint64() != f.Uint64() {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("forked generator mirrors its parent")
+	}
+}
+
+// Property: Uint64n(n) is always < n for arbitrary n > 0.
+func TestUint64nPropertyBound(t *testing.T) {
+	x := New(31)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return x.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mix64 is deterministic (pure function).
+func TestMix64PropertyDeterministic(t *testing.T) {
+	f := func(v uint64) bool { return Mix64(v) == Mix64(v) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint32Bits(t *testing.T) {
+	x := New(37)
+	var or uint32
+	for i := 0; i < 1000; i++ {
+		or |= x.Uint32()
+	}
+	if or != ^uint32(0) {
+		t.Fatalf("Uint32 never set some bits: %x", or)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}
