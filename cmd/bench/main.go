@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/expr"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	batch := flag.Int("batch", 0, "override batch size")
 	batches := flag.Int("batches", 0, "override number of batches")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	faults := flag.String("faults", "", "extra fault schedule for the fault-sensitivity ablation (dist.ParseFaults syntax, e.g. seed=7,drop=0.1,crash=0.01)")
 	flag.Parse()
 
 	sc := expr.Quick()
@@ -40,6 +42,13 @@ func main() {
 		sc.Batches = *batches
 	}
 	sc.Workers = *workers
+	if *faults != "" {
+		if _, err := dist.ParseFaults(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		sc.Faults = *faults
+	}
 
 	if *ablations {
 		for _, t := range expr.Ablations(sc) {

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/algo"
+	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/gio"
@@ -40,7 +41,23 @@ func main() {
 	outputFile := flag.String("outputFile", "", "write the converged values here ('-' = stdout)")
 	graphPath := flag.String("graphPath", "", "load the initial graph from an edge-tuple file instead of generating it")
 	streamPath := flag.String("streamPath", "", "load the update stream from a stream file instead of sampling it")
+	nodes := flag.Int("nodes", 0, "run the distributed cluster simulation over this many worker nodes (selective algorithms only)")
+	faults := flag.String("faults", "", "fault injection spec for -nodes mode, e.g. seed=7,drop=0.05,crash=0.01,crashat=1:3:0 (keys: seed drop dup delay reorder maxdelay crash maxcrashes crashat detect retrans ckpt maxrounds norejoin)")
 	flag.Parse()
+
+	var fcfg dist.FaultConfig
+	if *faults != "" {
+		var err error
+		fcfg, err = dist.ParseFaults(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphfly: %v\n", err)
+			os.Exit(2)
+		}
+		if *nodes < 2 {
+			fmt.Fprintln(os.Stderr, "graphfly: -faults requires -nodes >= 2 (faults are injected into the distributed runtime)")
+			os.Exit(2)
+		}
+	}
 
 	var w gen.Workload
 	datasetName := *datasetCode
@@ -79,9 +96,10 @@ func main() {
 	eCfg := engine.Config{Workers: *workers, FlowCap: *flowCap}
 
 	var (
-		values func() []float64
-		run    func(graph.Batch) engine.BatchStats
-		dim    = 1
+		values  func() []float64
+		run     func(graph.Batch) (engine.BatchStats, error)
+		cluster *dist.Cluster
+		dim     = 1
 	)
 	src := graph.VertexID(*source)
 	switch *algoName {
@@ -106,9 +124,14 @@ func main() {
 			initial = both
 		}
 		g := graph.FromEdges(w.NumV, initial)
-		eng := engine.NewSelective(g, a, eCfg)
-		values = eng.Values
-		run = eng.ProcessBatch
+		if *nodes > 1 {
+			cluster = dist.NewClusterWithFaults(g, a, *nodes, *flowCap, fcfg)
+			values = cluster.Values
+		} else {
+			eng := engine.NewSelective(g, a, eCfg)
+			values = eng.Values
+			run = eng.ProcessBatchE
+		}
 	case "PageRank", "LabelPropagation":
 		var a algo.Accumulative
 		if *algoName == "PageRank" {
@@ -130,10 +153,14 @@ func main() {
 			a = algo.NewLabelPropagation(*labels, seeds)
 			dim = *labels
 		}
+		if *nodes > 1 {
+			fmt.Fprintf(os.Stderr, "graphfly: -nodes supports the selective algorithms only (%s is accumulative)\n", *algoName)
+			os.Exit(2)
+		}
 		g := graph.FromEdges(w.NumV, w.Initial)
 		eng := engine.NewAccumulative(g, a, eCfg)
 		values = eng.Values
-		run = eng.ProcessBatch
+		run = eng.ProcessBatchE
 	default:
 		fmt.Fprintf(os.Stderr, "graphfly: unknown algorithm %q\n", *algoName)
 		os.Exit(2)
@@ -141,10 +168,34 @@ func main() {
 
 	fmt.Printf("graphfly %s on %s: %d vertices, %d initial edges, %d batches\n",
 		*algoName, datasetName, w.NumV, len(w.Initial), len(w.Batches))
+	if cluster != nil {
+		fmt.Printf("distributed: %d nodes", *nodes)
+		if fcfg.Enabled() {
+			fmt.Printf(", faults %q", *faults)
+		}
+		fmt.Println()
+	}
 	for bi, b := range w.Batches {
-		st := run(b)
+		if cluster != nil {
+			if err := cluster.ProcessBatchE(b); err != nil {
+				fmt.Fprintf(os.Stderr, "graphfly: batch %d rejected: %v\n", bi, err)
+				os.Exit(1)
+			}
+			fmt.Printf("batch %d: rounds=%d msgs=%d\n", bi, cluster.LastRounds, cluster.LastCrossMsgs)
+			continue
+		}
+		st, err := run(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphfly: batch %d rejected: %v\n", bi, err)
+			os.Exit(1)
+		}
 		fmt.Printf("batch %d: applied=%d trimmed=%d flows=%d units=%d levels=%d msgs=%d relax=%d time=%v\n",
 			bi, st.Applied, st.Trimmed, st.Impacted, st.Units, st.Levels, st.CrossMsgs, st.Relaxations, st.Total)
+	}
+	if cluster != nil && fcfg.Enabled() {
+		s := cluster.Stats
+		fmt.Printf("faults: dropped=%d duplicated=%d delayed=%d reordered=%d retransmits=%d dupsDiscarded=%d crashes=%d rejoins=%d recovered=%d replayed=%d reseeded=%d\n",
+			s.Dropped, s.Duplicated, s.Delayed, s.Reordered, s.Retransmits, s.DupsDiscarded, s.Crashes, s.Rejoins, s.RecoveredVerts, s.ReplayedMsgs, s.ReplaySeeds)
 	}
 	digest(values(), dim)
 	if *outputFile != "" {

@@ -52,6 +52,11 @@ type (
 	SelectiveEngine = engine.Selective
 	// AccumulativeEngine processes aggregation algorithms (PageRank/LP).
 	AccumulativeEngine = engine.Accumulative
+	// BatchError reports the first malformed update in a rejected batch.
+	// The engines' ProcessBatchE methods return it (wrapped) instead of
+	// mutating state, so callers fed by untrusted update streams can drop
+	// the bad batch and keep going; ProcessBatch panics with it instead.
+	BatchError = graph.BatchError
 	// Workload is a generated streaming experiment (initial graph + batches).
 	Workload = gen.Workload
 	// StreamConfig controls how a workload's update stream is sampled.

@@ -1,0 +1,294 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// chaosSchedule derives one reproducible fault schedule from a seed, mixing
+// drops, duplicates, delays, reorders, scheduled and random crashes, rejoin
+// policy, and checkpoint cadence.
+func chaosSchedule(seed uint64) FaultConfig {
+	r := rng.New(seed)
+	fc := FaultConfig{
+		Seed:            seed,
+		Drop:            0.30 * r.Float64(),
+		Dup:             0.20 * r.Float64(),
+		Delay:           0.40 * r.Float64(),
+		Reorder:         0.30 * r.Float64(),
+		MaxDelay:        1 + r.Intn(4),
+		DetectRounds:    1 + r.Intn(4),
+		RetransRounds:   2 + r.Intn(4),
+		CheckpointEvery: 1 + r.Intn(3),
+	}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		fc.CrashSchedule = append(fc.CrashSchedule, CrashPoint{
+			Batch: r.Intn(3), Round: 1 + r.Intn(6), Node: r.Intn(5),
+		})
+	}
+	if r.Bool(0.4) {
+		fc.CrashRate = 0.02 * r.Float64()
+		fc.MaxCrashes = 1 + r.Intn(2)
+	}
+	if r.Bool(0.2) {
+		fc.NoRejoin = true
+	}
+	return fc
+}
+
+// checkClusterChaos runs a workload through a faulty cluster and asserts
+// bit-exact agreement with the single-machine fixpoint after every batch.
+// It returns the cluster so callers can inspect fault stats.
+func checkClusterChaos(t *testing.T, alg algo.Selective, nodes int, w gen.Workload, fc FaultConfig) *Cluster {
+	t.Helper()
+	initial := w.Initial
+	if alg.Symmetric() {
+		var both []graph.Edge
+		for _, e := range initial {
+			both = append(both, e, graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+		}
+		initial = both
+	}
+	g := graph.FromEdges(w.NumV, initial)
+	c := NewClusterWithFaults(g, alg, nodes, 32, fc)
+	ref := g.Clone()
+	for bi, b := range w.Batches {
+		if err := c.ProcessBatchE(b); err != nil {
+			t.Fatalf("%s nodes=%d batch %d: %v", alg.Name(), nodes, bi, err)
+		}
+		rb := b
+		if alg.Symmetric() {
+			rb = symmetrize(b)
+		}
+		ref.ApplyBatch(rb)
+		want, _ := algo.SolveSelective(ref, alg)
+		got := c.Values()
+		for v := range want {
+			if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+				t.Fatalf("%s nodes=%d batch %d seed=%d: vertex %d = %v, want %v",
+					alg.Name(), nodes, bi, fc.Seed, v, got[v], want[v])
+			}
+		}
+	}
+	return c
+}
+
+// TestChaosEquivalence is the tentpole acceptance test: 24 distinct seeded
+// fault schedules, across algorithms and cluster sizes, must each converge
+// bit-exact to the single-machine engine. The aggregate stats prove the
+// schedules really exercised every fault type.
+func TestChaosEquivalence(t *testing.T) {
+	algs := []algo.Selective{algo.SSSP{Src: 0}, algo.BFS{Src: 0}, algo.CC{}}
+	var agg FaultStats
+	for seed := uint64(1); seed <= 24; seed++ {
+		fc := chaosSchedule(seed)
+		nodes := 2 + int(seed%4) // 2..5
+		alg := algs[int(seed)%len(algs)]
+		c := checkClusterChaos(t, alg, nodes, clusterWorkload(100+seed, 3), fc)
+		agg.Dropped += c.Stats.Dropped
+		agg.Duplicated += c.Stats.Duplicated
+		agg.Delayed += c.Stats.Delayed
+		agg.Reordered += c.Stats.Reordered
+		agg.Retransmits += c.Stats.Retransmits
+		agg.DupsDiscarded += c.Stats.DupsDiscarded
+		agg.Crashes += c.Stats.Crashes
+		agg.Rejoins += c.Stats.Rejoins
+		agg.RecoveredVerts += c.Stats.RecoveredVerts
+		agg.ReplayedMsgs += c.Stats.ReplayedMsgs
+	}
+	if agg.Dropped == 0 || agg.Duplicated == 0 || agg.Delayed == 0 || agg.Reordered == 0 {
+		t.Fatalf("network faults not exercised: %+v", agg)
+	}
+	if agg.Retransmits == 0 || agg.DupsDiscarded == 0 {
+		t.Fatalf("reliability layer not exercised: %+v", agg)
+	}
+	if agg.Crashes == 0 || agg.RecoveredVerts == 0 {
+		t.Fatalf("crash recovery not exercised: %+v", agg)
+	}
+}
+
+// TestChaosScheduledCrashes pins precise failure scenarios: early and
+// mid-batch crashes, cascading double crashes within one batch, crashes
+// with a stale (multi-batch) checkpoint, and no-rejoin operation.
+func TestChaosScheduledCrashes(t *testing.T) {
+	cases := []struct {
+		name string
+		fc   FaultConfig
+	}{
+		{"early-crash", FaultConfig{Seed: 1, CrashSchedule: []CrashPoint{{Batch: 0, Round: 1, Node: 1}}}},
+		{"mid-batch-crash", FaultConfig{Seed: 2, CrashSchedule: []CrashPoint{{Batch: 1, Round: 4, Node: 2}}}},
+		{"double-crash", FaultConfig{Seed: 3, CrashSchedule: []CrashPoint{
+			{Batch: 0, Round: 2, Node: 0}, {Batch: 0, Round: 6, Node: 3},
+		}}},
+		{"stale-checkpoint", FaultConfig{Seed: 4, CheckpointEvery: 3,
+			CrashSchedule: []CrashPoint{{Batch: 2, Round: 3, Node: 1}}}},
+		{"no-rejoin", FaultConfig{Seed: 5, NoRejoin: true,
+			CrashSchedule: []CrashPoint{{Batch: 0, Round: 2, Node: 2}}}},
+		{"crash-under-loss", FaultConfig{Seed: 6, Drop: 0.15, Dup: 0.1, Delay: 0.2, Reorder: 0.1,
+			CheckpointEvery: 2, CrashSchedule: []CrashPoint{{Batch: 1, Round: 2, Node: 0}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := checkClusterChaos(t, algo.SSSP{Src: 0}, 4, clusterWorkload(200, 4), tc.fc)
+			if c.Stats.Crashes == 0 {
+				t.Fatal("schedule produced no crash")
+			}
+			if c.Stats.RecoveredVerts == 0 {
+				t.Fatal("crash recovered no vertices")
+			}
+			if !tc.fc.NoRejoin && c.Stats.Rejoins == 0 {
+				t.Fatal("crashed worker never rejoined")
+			}
+			if tc.fc.NoRejoin && c.Stats.Rejoins != 0 {
+				t.Fatal("NoRejoin cluster re-admitted a worker")
+			}
+		})
+	}
+}
+
+// TestChaosZeroConfigIsFaultFree guards the NewCluster compatibility
+// contract: a zero FaultConfig must not perturb anything.
+func TestChaosZeroConfigIsFaultFree(t *testing.T) {
+	c := checkClusterChaos(t, algo.SSSP{Src: 0}, 4, clusterWorkload(300, 3), FaultConfig{})
+	if c.Stats != (FaultStats{}) {
+		t.Fatalf("zero config produced fault activity: %+v", c.Stats)
+	}
+}
+
+// TestChaosDeterministic replays one schedule twice and demands identical
+// trajectories, stats included.
+func TestChaosDeterministic(t *testing.T) {
+	fc := chaosSchedule(7)
+	a := checkClusterChaos(t, algo.SSSP{Src: 0}, 3, clusterWorkload(400, 3), fc)
+	b := checkClusterChaos(t, algo.SSSP{Src: 0}, 3, clusterWorkload(400, 3), fc)
+	if a.Stats != b.Stats {
+		t.Fatalf("same seed, different runs:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	if a.LastRounds != b.LastRounds || a.LastCrossMsgs != b.LastCrossMsgs {
+		t.Fatalf("same seed, different trajectory: rounds %d/%d msgs %d/%d",
+			a.LastRounds, b.LastRounds, a.LastCrossMsgs, b.LastCrossMsgs)
+	}
+}
+
+// TestChaosDeletionHeavyUnderCrash stresses the interaction between trim
+// recovery and checkpoint restore: deletions keep trimming vertices whose
+// checkpoint values are unachievable, so restores must honor trimSinceCkpt.
+func TestChaosDeletionHeavyUnderCrash(t *testing.T) {
+	cfg := gen.TestDataset(90)
+	cfg.NumV, cfg.NumE = 200, 1500
+	edges := gen.Generate(cfg)
+	w := gen.BuildWorkload(cfg.NumV, edges, gen.StreamConfig{
+		InitialFraction: 0.7, DeleteRatio: 0.8, BatchSize: 100, NumBatches: 4, Seed: 91,
+	})
+	fc := FaultConfig{Seed: 8, Drop: 0.1, Delay: 0.2, CheckpointEvery: 2,
+		CrashSchedule: []CrashPoint{{Batch: 1, Round: 2, Node: 1}, {Batch: 3, Round: 1, Node: 2}}}
+	c := checkClusterChaos(t, algo.SSSP{Src: 0}, 4, w, fc)
+	if c.Stats.Crashes != 2 {
+		t.Fatalf("crashes = %d, want 2", c.Stats.Crashes)
+	}
+}
+
+// TestClusterRejectsMalformedBatch checks graceful degradation: a malformed
+// batch returns a typed error before any state changes, and the cluster
+// keeps working afterwards.
+func TestClusterRejectsMalformedBatch(t *testing.T) {
+	w := clusterWorkload(500, 2)
+	g := graph.FromEdges(w.NumV, w.Initial)
+	c := NewCluster(g, algo.SSSP{Src: 0}, 3, 32)
+	bad := graph.Batch{{Edge: graph.Edge{Src: 0, Dst: uint32(w.NumV) + 7, W: 1}}}
+	err := c.ProcessBatchE(bad)
+	var be *graph.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *graph.BatchError, got %v", err)
+	}
+	if be.Index != 0 {
+		t.Fatalf("BatchError.Index = %d", be.Index)
+	}
+	// Still fully functional on the real stream.
+	ref := g.Clone()
+	for _, b := range w.Batches {
+		if err := c.ProcessBatchE(b); err != nil {
+			t.Fatal(err)
+		}
+		ref.ApplyBatch(b)
+	}
+	want, _ := algo.SolveSelective(ref, algo.SSSP{Src: 0})
+	got := c.Values()
+	for v := range want {
+		if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+			t.Fatalf("post-error divergence at vertex %d", v)
+		}
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	fc, err := ParseFaults("seed=7,drop=0.05,dup=0.02,delay=0.2,reorder=0.1,crash=0.01,maxcrashes=2,detect=5,retrans=3,ckpt=4,maxdelay=2,norejoin,crashat=0:3:1+2:1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Seed != 7 || fc.Drop != 0.05 || fc.Dup != 0.02 || fc.Delay != 0.2 ||
+		fc.Reorder != 0.1 || fc.CrashRate != 0.01 || fc.MaxCrashes != 2 ||
+		fc.DetectRounds != 5 || fc.RetransRounds != 3 || fc.CheckpointEvery != 4 ||
+		fc.MaxDelay != 2 || !fc.NoRejoin {
+		t.Fatalf("parsed %+v", fc)
+	}
+	want := []CrashPoint{{0, 3, 1}, {2, 1, 0}}
+	if len(fc.CrashSchedule) != 2 || fc.CrashSchedule[0] != want[0] || fc.CrashSchedule[1] != want[1] {
+		t.Fatalf("schedule %+v", fc.CrashSchedule)
+	}
+	if empty, err := ParseFaults("  "); err != nil || empty.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", empty, err)
+	}
+	for _, bad := range []string{"drop=1.5", "bogus=1", "crashat=1:2", "seed=x", "detect=-1", "crashat=0:0:0"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Fatalf("ParseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSimulateFaultMonotonic asserts the cost-model acceptance criterion:
+// on a fixed trace and placement, makespan is monotonically non-decreasing
+// in each injected fault rate.
+func TestSimulateFaultMonotonic(t *testing.T) {
+	trace := syntheticTrace()
+	cm := DefaultCostModel()
+	pl := Place(trace, 4, LocalityLPT)
+	base := Simulate(trace, pl, cm, false).MakespanNs
+
+	prev := base
+	for _, drop := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5} {
+		cm.Faults = FaultProfile{DropRate: drop, AckBytes: 8}
+		got := Simulate(trace, pl, cm, false).MakespanNs
+		if got < prev {
+			t.Fatalf("makespan fell from %v to %v at drop=%v", prev, got, drop)
+		}
+		prev = got
+	}
+	prev = base
+	for crashes := 0; crashes <= 4; crashes++ {
+		cm.Faults = FaultProfile{Crashes: crashes, DetectionNs: 1e6, ReplayFraction: 0.25}
+		got := Simulate(trace, pl, cm, false).MakespanNs
+		if got < prev {
+			t.Fatalf("makespan fell from %v to %v at crashes=%d", prev, got, crashes)
+		}
+		prev = got
+	}
+	cm.Faults = DefaultFaultProfile(1)
+	r := Simulate(trace, pl, cm, false)
+	if r.FaultNs <= 0 || r.RetransMsgs <= 0 {
+		t.Fatalf("fault profile charged nothing: %+v", r)
+	}
+	if r.MakespanNs <= base {
+		t.Fatalf("faulty makespan %v not above fault-free %v", r.MakespanNs, base)
+	}
+	cm.Faults = FaultProfile{}
+	if clean := Simulate(trace, pl, cm, false).MakespanNs; clean != base {
+		t.Fatalf("zero profile changed makespan: %v != %v", clean, base)
+	}
+}

@@ -1,0 +1,51 @@
+package dist
+
+// checkpoint is the Manager's periodic snapshot of the cluster's
+// authoritative state: every vertex value plus its key edge, taken at a
+// batch boundary where global quiescence guarantees consistency (the
+// Aspen-style cheap consistent snapshot — no coordination beyond the batch
+// barrier the protocol already has).
+//
+// A checkpoint alone is not enough to recover a crashed worker soundly:
+//
+//   - A checkpointed value may have lost its supporting path to a deletion
+//     since the commit. Two signals catch that: trimSinceCkpt records every
+//     vertex the Manager trimmed since the commit, and delLog lets recovery
+//     validate the checkpoint-time dependence chain edge by edge
+//     (recovery.go's chainBroken). Both are needed — trims walk the
+//     *current* forest, so a vertex that migrated to a better live chain
+//     escapes the trim even when the chain its checkpoint value rests on
+//     breaks. Either signal restores the vertex with the invalid bit set so
+//     the new owner refines it from scratch (the KickStarter safety
+//     argument: refinement never reads the vertex's own value).
+//   - A checkpointed value may have been improved since the commit by
+//     work that only the dead worker saw. The restore refinement pulls the
+//     improvement back out of the new owner's local shadows, and the
+//     upstream backups — every survivor's replayLog of cross-node
+//     candidates and the Manager's addLog of applied additions — re-seed
+//     improvement chains that were still in flight (recovery.go).
+//
+// A value whose checkpoint chain is intact is still achievable: every edge
+// on the chain survived, so the chain itself witnesses it, and the current
+// fixpoint can only sit at or below it. Recovery therefore restores such
+// vertices by a refinement *floored* at the checkpoint value.
+type checkpoint struct {
+	vals   []float64
+	parent []int32
+}
+
+// commitCheckpoint snapshots the authoritative state and truncates the
+// recovery logs — everything before the commit is now covered by the
+// snapshot itself.
+func (c *Cluster) commitCheckpoint() {
+	c.ckpt.vals = append(c.ckpt.vals[:0], c.Values()...)
+	c.ckpt.parent = append(c.ckpt.parent[:0], c.parent...)
+	for i := range c.trimSinceCkpt {
+		c.trimSinceCkpt[i] = false
+	}
+	c.addLog = c.addLog[:0]
+	c.delLog = c.delLog[:0]
+	for _, n := range c.nodes {
+		n.replayLog = n.replayLog[:0]
+	}
+}

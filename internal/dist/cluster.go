@@ -1,6 +1,9 @@
 package dist
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/algo"
 	"repro/internal/dflow"
 	"repro/internal/etree"
@@ -26,25 +29,53 @@ import (
 // deliver every improvement, so the cluster converges to the same fixpoint
 // as the single-machine engine (tested bit-exact).
 //
+// On top of that sits the fault layer (faults.go, reliable.go,
+// checkpoint.go, recovery.go): the data plane runs over an unreliable
+// network masked by sequenced, acked, retransmitted links, and workers are
+// crash-stop processes the Manager detects by missed heartbeats and
+// recovers by reassigning their flows and reconstructing state from the
+// last checkpoint plus upstream-backup replay. With the zero FaultConfig
+// every packet arrives next round, in order, exactly once — the original
+// perfect-network protocol.
+//
 // Timing is NOT modeled here — that is Simulate's job; Cluster demonstrates
 // protocol correctness (message routing, ownership, shadow coherence,
-// Manager-coordinated termination).
+// Manager-coordinated termination, and fault masking).
 type Cluster struct {
 	NumNodes int
 	G        *graph.Streaming
 	Alg      algo.Selective
 
-	part  *dflow.Partition
-	owner []int32 // vertex -> node
+	fc  FaultConfig
+	inj *injector
 
-	kf     *etree.KeyForest // Manager-side dependence forest
-	parent []int32          // Manager's collected key edges
+	part     *dflow.Partition
+	owner    []int32 // vertex -> node
+	flowNode []int32 // flow -> node: the Manager's flow-worker table
 
-	nodes []*clusterNode
+	kf         *etree.KeyForest // Manager-side dependence forest
+	parent     []int32          // Manager's collected key edges
+	mgrTrimmed []bool           // Manager's view of this batch's trim set
+
+	nodes      []*clusterNode
+	live       []bool
+	detected   []bool // Manager has announced this death and recovered
+	crashRound []int
+
+	net     network
+	round   int // current delivery round within the batch (0 = batch setup)
+	batches int // batches fully processed
+
+	ckpt          checkpoint
+	trimSinceCkpt []bool         // trimmed at least once since the last commit
+	addLog        []graph.Update // additions applied since the last commit
+	delLog        []graph.Update // deletions applied since the last commit
 
 	// Stats for the batch most recently processed.
 	LastCrossMsgs int64
 	LastRounds    int
+	// Stats accumulates fault and recovery counters across the whole run.
+	Stats FaultStats
 }
 
 type clusterMsg struct {
@@ -61,22 +92,43 @@ type clusterNode struct {
 	parent  []int32   // owned vertices only
 	inbox   []clusterMsg
 	wl      []uint32
+
+	send      []*sendLink // per peer
+	recv      []*recvLink // per peer
+	replayLog []clusterMsg // candidates sent cross-node since last checkpoint
 }
 
 // NewCluster partitions the graph's dependency-flows over numNodes worker
 // nodes and runs the initial computation, seeding every node's values and
-// shadows.
+// shadows. The network is perfect and the workers immortal.
 func NewCluster(g *graph.Streaming, alg algo.Selective, numNodes int, flowCap int) *Cluster {
+	return NewClusterWithFaults(g, alg, numNodes, flowCap, FaultConfig{})
+}
+
+// NewClusterWithFaults is NewCluster under an injected fault schedule: the
+// same protocol must reach the same fixpoints while the network drops,
+// duplicates, delays, and reorders packets and workers crash mid-batch.
+func NewClusterWithFaults(g *graph.Streaming, alg algo.Selective, numNodes int, flowCap int, fc FaultConfig) *Cluster {
 	if numNodes < 1 {
 		numNodes = 1
 	}
 	vals, parent := algo.SolveSelective(g, alg)
 	c := &Cluster{
-		NumNodes: numNodes,
-		G:        g,
-		Alg:      alg,
-		kf:       etree.NewKeyForest(g.NumVertices()),
-		parent:   parent,
+		NumNodes:      numNodes,
+		G:             g,
+		Alg:           alg,
+		fc:            fc,
+		kf:            etree.NewKeyForest(g.NumVertices()),
+		parent:        parent,
+		mgrTrimmed:    make([]bool, g.NumVertices()),
+		live:          make([]bool, numNodes),
+		detected:      make([]bool, numNodes),
+		crashRound:    make([]int, numNodes),
+		trimSinceCkpt: make([]bool, g.NumVertices()),
+	}
+	c.inj = newInjector(fc, &c.Stats)
+	for n := 0; n < numNodes; n++ {
+		c.live[n] = true
 	}
 	c.partition(flowCap)
 	for n := 0; n < numNodes; n++ {
@@ -85,20 +137,44 @@ func NewCluster(g *graph.Streaming, alg algo.Selective, numNodes int, flowCap in
 			vals:    append([]float64(nil), vals...), // initial broadcast
 			trimmed: make([]bool, g.NumVertices()),
 			parent:  append([]int32(nil), parent...),
+			send:    make([]*sendLink, numNodes),
+			recv:    make([]*recvLink, numNodes),
+		}
+		for p := 0; p < numNodes; p++ {
+			node.resetLink(p)
 		}
 		c.nodes = append(c.nodes, node)
 	}
+	c.commitCheckpoint()
 	return c
 }
 
+// Faults returns the schedule the cluster was built with.
+func (c *Cluster) Faults() FaultConfig { return c.fc }
+
+// liveIDs returns the live worker ids in ascending order.
+func (c *Cluster) liveIDs() []int {
+	ids := make([]int, 0, len(c.live))
+	for n := range c.live {
+		if c.live[n] {
+			ids = append(ids, n)
+		}
+	}
+	return ids
+}
+
 // partition recomputes flows from the Manager's key forest and places them
-// round-robin by flow (balanced vertex counts; §VI Workload Balancing
-// rebalances on skew, which round-robin over capped flows approximates).
+// round-robin by flow over the live workers (balanced vertex counts; §VI
+// Workload Balancing rebalances on skew, which round-robin over capped
+// flows approximates), refreshing the flow-worker table.
 func (c *Cluster) partition(flowCap int) {
 	c.part = dflow.NewPartitionFromParents(c.parent, flowCap)
+	c.flowNode = make([]int32, c.part.NumFlows())
 	c.owner = make([]int32, c.G.NumVertices())
+	live := c.liveIDs()
 	for f := int32(0); int(f) < c.part.NumFlows(); f++ {
-		n := int32(int(f) % c.NumNodes)
+		n := int32(live[int(f)%len(live)])
+		c.flowNode[f] = n
 		for _, v := range c.part.Members(f) {
 			c.owner[v] = n
 		}
@@ -115,18 +191,42 @@ func (c *Cluster) Values() []float64 {
 	return out
 }
 
-// ProcessBatch runs one batch through the distributed protocol:
-// structure replication, Manager trim identification + invalidation
-// broadcast, per-node fused refine/recompute, message routing rounds until
-// global quiescence, and key-edge collection for the next batch.
+// ProcessBatch runs one batch through the distributed protocol. It panics
+// on a malformed batch or a batch that cannot quiesce; ProcessBatchE is the
+// error-returning form.
 func (c *Cluster) ProcessBatch(batch graph.Batch) {
+	if err := c.ProcessBatchE(batch); err != nil {
+		panic(err)
+	}
+}
+
+// ProcessBatchE runs one batch through the distributed protocol:
+// structure replication, Manager trim identification + invalidation
+// broadcast, per-node fused refine/recompute, reliable message delivery
+// rounds (with fault injection, failure detection, and recovery) until
+// global quiescence, and key-edge collection for the next batch.
+func (c *Cluster) ProcessBatchE(batch graph.Batch) error {
+	if err := c.G.CheckBatch(batch); err != nil {
+		return err
+	}
+	c.rejoinDead()
 	if c.Alg.Symmetric() {
 		batch = symmetrize(batch)
 	}
 	applied := c.G.ApplyBatch(batch) // structure replicated everywhere
+	for _, u := range applied {
+		if u.Del {
+			c.delLog = append(c.delLog, u)
+		} else {
+			c.addLog = append(c.addLog, u)
+		}
+	}
+	c.LastCrossMsgs = 0
+	c.LastRounds = 0
+	c.round = 0
 
 	// Manager: identify trim sets on the dependence forest and broadcast
-	// invalidations (owned flag + shadow flags on every node).
+	// invalidations (owned flag + shadow flags on every live node).
 	c.kf.BulkLoad(c.parent)
 	var trimmed []uint32
 	for _, u := range applied {
@@ -134,11 +234,15 @@ func (c *Cluster) ProcessBatch(batch graph.Batch) {
 			continue
 		}
 		c.kf.Subtree(uint32(u.Dst), func(x uint32) bool {
-			if c.nodes[0].trimmed[x] {
+			if c.mgrTrimmed[x] {
 				return false
 			}
+			c.mgrTrimmed[x] = true
+			c.trimSinceCkpt[x] = true
 			for _, n := range c.nodes {
-				n.trimmed[x] = true
+				if c.live[n.id] {
+					n.trimmed[x] = true
+				}
 			}
 			c.parent[x] = -1
 			trimmed = append(trimmed, x)
@@ -147,7 +251,8 @@ func (c *Cluster) ProcessBatch(batch graph.Batch) {
 	}
 	// Owners queue their trimmed vertices for refinement.
 	for _, x := range trimmed {
-		c.nodes[c.owner[x]].wl = append(c.nodes[c.owner[x]].wl, x)
+		nd := c.nodes[c.owner[x]]
+		nd.wl = append(nd.wl, x)
 	}
 	// Additions: the source's owner computes the candidate and routes it
 	// to the target's owner.
@@ -160,37 +265,75 @@ func (c *Cluster) ProcessBatch(batch graph.Batch) {
 			continue // will push after its own refinement
 		}
 		cand := c.Alg.Propagate(src.vals[u.Src], u.W)
-		c.route(int(c.owner[u.Dst]), clusterMsg{v: uint32(u.Dst), val: cand, parent: int32(u.Src)})
+		c.sendMsg(src.id, int(c.owner[u.Dst]), clusterMsg{v: uint32(u.Dst), val: cand, parent: int32(u.Src)}, true)
 	}
 
-	// Delivery rounds until quiescence (Manager-coordinated termination).
-	c.LastCrossMsgs = 0
-	c.LastRounds = 0
+	// Delivery rounds until quiescence (Manager-coordinated termination):
+	// inject scheduled chaos, deliver what the network lets through, let
+	// every live worker drain its inbox and worklist, fire retransmission
+	// timers, and let the Manager detect and recover crashed workers.
 	for {
-		busy := false
+		c.round++
+		if c.round > c.fc.maxRounds() {
+			return fmt.Errorf("dist: batch %d failed to quiesce after %d rounds (fault seed %d)",
+				c.batches, c.fc.maxRounds(), c.fc.Seed)
+		}
+		c.injectCrashes()
+		c.deliverRound()
 		for _, n := range c.nodes {
+			if !c.live[n.id] {
+				continue
+			}
 			if len(n.inbox) > 0 || len(n.wl) > 0 {
-				busy = true
 				c.processNode(n)
 			}
 		}
-		if !busy {
+		c.retransmitRound()
+		c.detectAndRecover()
+		if c.quiescent() {
 			break
 		}
-		c.LastRounds++
 	}
+	c.LastRounds = c.round
 
-	// Collect key edges for the Manager's next-batch forest and refresh
-	// the placement.
+	// Collect key edges for the Manager's next-batch forest, refresh the
+	// placement, and commit a checkpoint when one is due.
 	for v := range c.parent {
 		c.parent[v] = c.nodes[c.owner[v]].parent[v]
 	}
+	for i := range c.mgrTrimmed {
+		c.mgrTrimmed[i] = false
+	}
 	c.partition(c.part.Cap)
+	c.batches++
+	if c.batches%c.fc.checkpointEvery() == 0 {
+		c.commitCheckpoint()
+	}
+	return nil
 }
 
-// route delivers a message to a node, counting cross-node traffic.
-func (c *Cluster) route(to int, m clusterMsg) {
-	c.nodes[to].inbox = append(c.nodes[to].inbox, m)
+// quiescent is the Manager's termination check: every worker is known
+// alive, the network is drained, every link is acked and gapless, and no
+// worker has local work left. An undetected crash blocks termination — the
+// Manager keeps waiting out the heartbeat timeout instead.
+func (c *Cluster) quiescent() bool {
+	for d := range c.nodes {
+		if !c.live[d] && !c.detected[d] {
+			return false
+		}
+	}
+	if len(c.net.q) > 0 {
+		return false
+	}
+	for _, n := range c.nodes {
+		if !c.live[n.id] {
+			continue
+		}
+		if len(n.inbox) > 0 || len(n.wl) > 0 {
+			return false
+		}
+	}
+	return c.linksIdle()
 }
 
 // processNode drains a node's inbox and worklist: the per-node fused
@@ -251,8 +394,7 @@ func (c *Cluster) processNode(n *clusterNode) {
 				// Remote candidate (only if plausibly useful per the
 				// local, possibly stale, shadow).
 				if n.trimmed[w] || c.Alg.Better(cand, n.vals[w]) {
-					c.route(int(c.owner[w]), clusterMsg{v: w, val: cand, parent: int32(v)})
-					c.LastCrossMsgs++
+					c.sendMsg(n.id, int(c.owner[w]), clusterMsg{v: w, val: cand, parent: int32(v)}, true)
 				}
 			}
 		}
@@ -263,8 +405,17 @@ func (c *Cluster) processNode(n *clusterNode) {
 // refine resets an owned trimmed vertex from its (possibly stale, always
 // safe) local view and broadcasts the new value as a shadow refresh.
 func (c *Cluster) refine(n *clusterNode, v uint32) {
-	best := c.Alg.Base(graph.VertexID(v))
-	bestParent := int32(-1)
+	c.refineFrom(n, v, c.Alg.Base(graph.VertexID(v)), -1)
+}
+
+// refineFrom is refine seeded with a known-achievable floor instead of the
+// base value. Recovery uses it to restore a vertex whose checkpoint value is
+// still achievable: the pull over the new owner's local shadows re-derives
+// improvements whose original push was filtered out, without ever dropping
+// below a value the vertex is entitled to.
+func (c *Cluster) refineFrom(n *clusterNode, v uint32, floor float64, floorParent int32) {
+	best := floor
+	bestParent := floorParent
 	for _, h := range c.G.In(graph.VertexID(v)) {
 		if n.trimmed[h.To] {
 			continue
@@ -297,8 +448,7 @@ func (c *Cluster) broadcastShadow(n *clusterNode, v uint32) {
 		if other.id == n.id {
 			continue
 		}
-		c.route(other.id, clusterMsg{v: v, val: n.vals[v], parent: n.parent[v], shadow: true})
-		c.LastCrossMsgs++
+		c.sendMsg(n.id, other.id, clusterMsg{v: v, val: n.vals[v], parent: n.parent[v], shadow: true}, false)
 	}
 }
 
@@ -321,5 +471,13 @@ func symmetrize(b graph.Batch) graph.Batch {
 			graph.Update{Edge: graph.Edge{Src: d, Dst: a, W: u.W}, Del: u.Del},
 		)
 	}
+	return out
+}
+
+// sortedCopy returns v ascending (small helper for deterministic recovery
+// iteration).
+func sortedCopy(v []uint32) []uint32 {
+	out := append([]uint32(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

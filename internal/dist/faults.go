@@ -1,0 +1,323 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// FaultConfig describes a deterministic fault schedule for the functional
+// cluster. Every decision (drop this packet, crash this node) is drawn from
+// one seeded stream, so a given (workload, config) pair replays the exact
+// same chaos run every time.
+//
+// Fault model:
+//
+//   - The data plane (candidates, shadow refreshes, acks) is an unreliable
+//     network: packets may be dropped, duplicated, delayed a bounded number
+//     of rounds, or reordered within a link. The reliability layer in
+//     reliable.go masks all of this.
+//   - Workers are crash-stop: a crashed worker loses all volatile state
+//     (inbox, worklist, link state) at a round boundary and sends nothing
+//     afterwards. Packets already in flight FROM it may still arrive.
+//   - The control plane (Manager trim broadcasts, heartbeats, the
+//     flow-worker table, failure announcements) is reliable and synchronous,
+//     the standard assumption for a coordinator that is itself replicated.
+//
+// The zero value disables every fault; NewCluster uses it, so the fault-free
+// protocol is byte-for-byte the old one.
+type FaultConfig struct {
+	// Seed drives the single decision stream. Seed 0 is a valid seed.
+	Seed uint64
+
+	// Drop, Dup, Delay, Reorder are per-packet probabilities in [0, 1).
+	// Delay adds 1..MaxDelay extra rounds of latency; Reorder swaps the
+	// delivery time of the packet with an earlier in-flight packet on the
+	// same link.
+	Drop    float64
+	Dup     float64
+	Delay   float64
+	Reorder float64
+	// MaxDelay bounds the extra rounds a delayed packet waits (default 3).
+	MaxDelay int
+
+	// CrashRate is a per-round probability that one live worker crashes
+	// (never the last one). MaxCrashes caps how many random crashes fire in
+	// total across the run; 0 means unlimited.
+	CrashRate  float64
+	MaxCrashes int
+	// CrashSchedule lists explicit crashes, for reproducing a precise
+	// failure scenario independent of the random stream.
+	CrashSchedule []CrashPoint
+
+	// DetectRounds is how many rounds of missed heartbeats the Manager
+	// waits before declaring a worker dead and starting recovery
+	// (default 3).
+	DetectRounds int
+	// RetransRounds is the base retransmission timeout in rounds; it backs
+	// off exponentially per retry (default 4).
+	RetransRounds int
+	// CheckpointEvery commits a Manager checkpoint of all authoritative
+	// values every N batches (default 1). Larger values cheapen steady
+	// state and lengthen replay on recovery.
+	CheckpointEvery int
+	// NoRejoin keeps crashed workers out for the rest of the run instead of
+	// re-admitting them (with a full state transfer) at the next batch
+	// boundary.
+	NoRejoin bool
+	// MaxRounds aborts a batch that fails to quiesce (default 100000); a
+	// healthy schedule never gets near it, so hitting it indicates a
+	// protocol bug rather than bad luck.
+	MaxRounds int
+}
+
+// CrashPoint schedules worker Node to crash at the start of delivery round
+// Round (1-based) of batch Batch (0-based).
+type CrashPoint struct {
+	Batch int
+	Round int
+	Node  int
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (fc FaultConfig) Enabled() bool {
+	return fc.Drop > 0 || fc.Dup > 0 || fc.Delay > 0 || fc.Reorder > 0 ||
+		fc.CrashRate > 0 || len(fc.CrashSchedule) > 0
+}
+
+func (fc FaultConfig) maxDelay() int {
+	if fc.MaxDelay <= 0 {
+		return 3
+	}
+	return fc.MaxDelay
+}
+
+func (fc FaultConfig) detectRounds() int {
+	if fc.DetectRounds <= 0 {
+		return 3
+	}
+	return fc.DetectRounds
+}
+
+func (fc FaultConfig) retransRounds() int {
+	if fc.RetransRounds <= 0 {
+		return 4
+	}
+	return fc.RetransRounds
+}
+
+func (fc FaultConfig) checkpointEvery() int {
+	if fc.CheckpointEvery <= 0 {
+		return 1
+	}
+	return fc.CheckpointEvery
+}
+
+func (fc FaultConfig) maxRounds() int {
+	if fc.MaxRounds <= 0 {
+		return 100000
+	}
+	return fc.MaxRounds
+}
+
+// ParseFaults parses the --faults flag syntax: a comma-separated list of
+// key=value pairs, e.g.
+//
+//	seed=7,drop=0.05,dup=0.02,delay=0.2,reorder=0.1,crash=0.01,maxcrashes=2
+//
+// Scheduled crashes use batch:round:node triples joined by '+':
+//
+//	seed=7,crashat=0:3:1+2:1:0
+//
+// Remaining keys: maxdelay, detect, retrans, ckpt, maxrounds (integers) and
+// norejoin (bare flag or =true). An empty spec returns the zero config.
+func ParseFaults(spec string) (FaultConfig, error) {
+	var fc FaultConfig
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return fc, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		badVal := func(err error) (FaultConfig, error) {
+			return FaultConfig{}, fmt.Errorf("faults: bad value %q for %q: %v", val, key, err)
+		}
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return badVal(err)
+			}
+			fc.Seed = u
+		case "drop", "dup", "delay", "reorder", "crash":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return badVal(err)
+			}
+			if f < 0 || f >= 1 {
+				return FaultConfig{}, fmt.Errorf("faults: %s=%v outside [0,1)", key, f)
+			}
+			switch key {
+			case "drop":
+				fc.Drop = f
+			case "dup":
+				fc.Dup = f
+			case "delay":
+				fc.Delay = f
+			case "reorder":
+				fc.Reorder = f
+			case "crash":
+				fc.CrashRate = f
+			}
+		case "maxdelay", "maxcrashes", "detect", "retrans", "ckpt", "maxrounds":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return badVal(err)
+			}
+			if n < 0 {
+				return FaultConfig{}, fmt.Errorf("faults: %s=%d is negative", key, n)
+			}
+			switch key {
+			case "maxdelay":
+				fc.MaxDelay = n
+			case "maxcrashes":
+				fc.MaxCrashes = n
+			case "detect":
+				fc.DetectRounds = n
+			case "retrans":
+				fc.RetransRounds = n
+			case "ckpt":
+				fc.CheckpointEvery = n
+			case "maxrounds":
+				fc.MaxRounds = n
+			}
+		case "norejoin":
+			if !hasVal || val == "true" || val == "1" {
+				fc.NoRejoin = true
+			} else if val != "false" && val != "0" {
+				return badVal(fmt.Errorf("want a boolean"))
+			}
+		case "crashat":
+			for _, triple := range strings.Split(val, "+") {
+				parts := strings.Split(triple, ":")
+				if len(parts) != 3 {
+					return FaultConfig{}, fmt.Errorf("faults: crashat wants batch:round:node, got %q", triple)
+				}
+				var cp CrashPoint
+				var err error
+				if cp.Batch, err = strconv.Atoi(parts[0]); err != nil {
+					return badVal(err)
+				}
+				if cp.Round, err = strconv.Atoi(parts[1]); err != nil {
+					return badVal(err)
+				}
+				if cp.Node, err = strconv.Atoi(parts[2]); err != nil {
+					return badVal(err)
+				}
+				if cp.Batch < 0 || cp.Round < 1 || cp.Node < 0 {
+					return FaultConfig{}, fmt.Errorf("faults: crashat %q out of range (round is 1-based)", triple)
+				}
+				fc.CrashSchedule = append(fc.CrashSchedule, cp)
+			}
+		default:
+			return FaultConfig{}, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	return fc, nil
+}
+
+// FaultStats counts what the injector and the recovery machinery actually
+// did during a run; chaos tests assert on these to prove a schedule really
+// exercised the path it claims to.
+type FaultStats struct {
+	Dropped        int64 // packets the network ate
+	Duplicated     int64 // extra copies the network created
+	Delayed        int64 // packets held past base latency
+	Reordered      int64 // delivery-time swaps within a link
+	Retransmits    int64 // timer-driven resends
+	DupsDiscarded  int64 // receive-side dedup hits (stale seq)
+	Crashes        int64 // workers killed
+	Rejoins        int64 // workers re-admitted at a batch boundary
+	RecoveredVerts int64 // vertices reconstructed from checkpoint
+	ReplayedMsgs   int64 // logged candidates resent during recovery
+	ReplaySeeds    int64 // vertices re-enqueued to regenerate influence
+}
+
+// injector turns the config into concrete per-packet and per-round
+// decisions. All randomness flows through one generator, in one
+// deterministic call order, so the whole chaos run replays from the seed.
+type injector struct {
+	cfg FaultConfig
+	rng *rng.Xoshiro256
+	st  *FaultStats
+
+	randomCrashes int
+}
+
+func newInjector(cfg FaultConfig, st *FaultStats) *injector {
+	return &injector{cfg: cfg, rng: rng.New(rng.Mix64(cfg.Seed ^ 0x6661756c7473)), st: st}
+}
+
+// deliveries decides the fate of one packet sent during round r: the slice
+// holds a delivery round per copy that enters the network (empty = dropped).
+// Base latency is one round.
+func (in *injector) deliveries(r int) []int {
+	base := r + 1
+	if !in.cfg.Enabled() {
+		return []int{base}
+	}
+	if in.rng.Bool(in.cfg.Drop) {
+		in.st.Dropped++
+		return nil
+	}
+	out := make([]int, 1, 2)
+	out[0] = in.delay(base)
+	if in.rng.Bool(in.cfg.Dup) {
+		in.st.Duplicated++
+		out = append(out, in.delay(base))
+	}
+	return out
+}
+
+// delay perturbs one copy's delivery round.
+func (in *injector) delay(base int) int {
+	if in.rng.Bool(in.cfg.Delay) {
+		in.st.Delayed++
+		return base + 1 + in.rng.Intn(in.cfg.maxDelay())
+	}
+	return base
+}
+
+// reorder decides whether this copy swaps delivery times with an earlier
+// in-flight packet on the same link.
+func (in *injector) reorder() bool {
+	if in.cfg.Reorder > 0 && in.rng.Bool(in.cfg.Reorder) {
+		in.st.Reordered++
+		return true
+	}
+	return false
+}
+
+// randomCrash picks a victim among live (sorted ascending), or -1. It never
+// kills the last live worker and respects MaxCrashes.
+func (in *injector) randomCrash(live []int) int {
+	if in.cfg.CrashRate <= 0 || len(live) <= 1 {
+		return -1
+	}
+	if in.cfg.MaxCrashes > 0 && in.randomCrashes >= in.cfg.MaxCrashes {
+		return -1
+	}
+	if !in.rng.Bool(in.cfg.CrashRate) {
+		return -1
+	}
+	in.randomCrashes++
+	return live[in.rng.Intn(len(live))]
+}

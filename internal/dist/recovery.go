@@ -1,0 +1,278 @@
+package dist
+
+import "repro/internal/graph"
+
+// Crash recovery. Workers are crash-stop: at a round boundary a worker
+// loses its volatile state and falls silent. The Manager notices the
+// missing heartbeats after DetectRounds rounds, announces the death
+// (control plane, reliable), and rebuilds the lost flows on the survivors:
+//
+//  1. purge the network and link state involving the dead worker;
+//  2. reassign its flows round-robin over the survivors (flow-worker
+//     table update);
+//  3. restore each lost vertex at its new owner from the last checkpoint —
+//     trimmed with forced refinement if the Manager trimmed it since the
+//     commit or its checkpoint-time support chain lost an edge (checkpoint.go
+//     explains why both conditions are required for soundness), otherwise by
+//     a refinement floored at the still-achievable checkpoint value;
+//  4. invalidate every survivor's shadow of a lost vertex, so pre-crash
+//     shadow copies — which may reflect lost state that recovery rolls
+//     back — can neither satisfy pulls nor suppress re-pushed candidates;
+//  5. replay the in-flight work from the upstream backups: survivors
+//     resend logged candidates aimed at lost vertices, and senders whose
+//     own value may have changed since logging (trimmed since the
+//     checkpoint) are re-enqueued instead so they push their *current*
+//     value rather than a stale logged one.
+//
+// Every lost vertex is re-enqueued at its new owner, so its influence
+// re-derives locally even when the entire improvement chain lived on the
+// dead worker. Rejoins happen at the next batch boundary via a full state
+// transfer, the same mechanism as the initial seeding.
+
+// injectCrashes fires scheduled and random crash decisions for the current
+// (batch, round).
+func (c *Cluster) injectCrashes() {
+	for _, cp := range c.fc.CrashSchedule {
+		if cp.Batch == c.batches && cp.Round == c.round && cp.Node >= 0 && cp.Node < len(c.nodes) {
+			c.crashNode(cp.Node)
+		}
+	}
+	if v := c.inj.randomCrash(c.liveIDs()); v >= 0 {
+		c.crashNode(v)
+	}
+}
+
+// crashNode kills a worker: all volatile state is gone, in-flight packets
+// FROM it stay in the network (they were already on the wire), and nothing
+// else happens until the Manager times out its heartbeats. The last live
+// worker never crashes.
+func (c *Cluster) crashNode(d int) {
+	if !c.live[d] || len(c.liveIDs()) <= 1 {
+		return
+	}
+	n := c.nodes[d]
+	n.inbox, n.wl = nil, nil
+	n.replayLog = n.replayLog[:0]
+	for p := range c.nodes {
+		n.resetLink(p)
+	}
+	c.live[d] = false
+	c.detected[d] = false
+	c.crashRound[d] = c.round
+	c.Stats.Crashes++
+}
+
+// detectAndRecover is the Manager's heartbeat timeout: a worker silent for
+// DetectRounds rounds is declared dead and its flows are recovered.
+func (c *Cluster) detectAndRecover() {
+	for d := range c.nodes {
+		if c.live[d] || c.detected[d] {
+			continue
+		}
+		if c.round-c.crashRound[d] >= c.fc.detectRounds() {
+			c.detected[d] = true
+			c.recoverWorker(d)
+		}
+	}
+}
+
+// recoverWorker reassigns a dead worker's flows to the survivors and
+// reconstructs their state (steps 1–5 above).
+func (c *Cluster) recoverWorker(d int) {
+	// 1. Purge everything in flight to or from the dead worker and reset
+	// the survivors' link state with it.
+	c.purgeNode(d)
+	for _, n := range c.nodes {
+		if c.live[n.id] {
+			n.resetLink(d)
+		}
+	}
+
+	// 2. Reassign the dead worker's flows via the flow-worker table.
+	live := c.liveIDs()
+	rr := 0
+	var recovered []uint32
+	for f := int32(0); int(f) < len(c.flowNode); f++ {
+		if int(c.flowNode[f]) != d {
+			continue
+		}
+		n := int32(live[rr%len(live)])
+		rr++
+		c.flowNode[f] = n
+		for _, v := range c.part.Members(f) {
+			c.owner[v] = n
+			recovered = append(recovered, v)
+		}
+	}
+	recovered = sortedCopy(recovered)
+	recSet := make([]bool, c.G.NumVertices())
+	for _, v := range recovered {
+		recSet[v] = true
+	}
+
+	// 4 (before 3 so the new owner's bit wins). Invalidate survivors'
+	// shadows of every lost vertex.
+	for _, n := range c.nodes {
+		if !c.live[n.id] {
+			continue
+		}
+		for _, v := range recovered {
+			n.trimmed[v] = true
+		}
+	}
+
+	// 3. Restore from the checkpoint at the new owners. A checkpoint value
+	// is only achievable if its checkpoint-time support chain survived every
+	// deletion since the commit. The per-vertex trim history alone cannot
+	// decide that: trims walk the *current* forest, so a vertex that had
+	// already migrated to a better chain escapes the trim even when its
+	// checkpoint chain breaks — rolling it back would resurrect an
+	// unreachable value. chainBroken validates the checkpoint chain against
+	// the deletion log directly. Broken (or trimmed-since-commit) vertices
+	// restore with the invalid bit and refine from scratch off the worklist;
+	// intact vertices restore by a refinement *floored* at the checkpoint
+	// value — the pull over the new owner's local shadows re-derives any
+	// improvement whose original push the sender's shadow filter suppressed
+	// (the improved value already lived at the dead worker, so no survivor
+	// ever logged it), and its broadcast revalidates the survivors' shadows.
+	chainState := make([]uint8, c.G.NumVertices())
+	delSet := make(map[[2]uint32]bool, len(c.delLog))
+	for _, u := range c.delLog {
+		delSet[[2]uint32{uint32(u.Src), uint32(u.Dst)}] = true
+	}
+	for _, v := range recovered {
+		nb := c.nodes[c.owner[v]]
+		nb.vals[v] = c.ckpt.vals[v]
+		nb.parent[v] = c.ckpt.parent[v]
+		if c.trimSinceCkpt[v] || c.chainBroken(v, chainState, delSet) {
+			nb.trimmed[v] = true
+			nb.wl = append(nb.wl, v)
+		} else {
+			c.refineFrom(nb, v, c.ckpt.vals[v], c.ckpt.parent[v])
+		}
+	}
+	c.Stats.RecoveredVerts += int64(len(recovered))
+
+	// 5. Upstream-backup replay.
+	seeded := make([]bool, c.G.NumVertices())
+	seed := func(u uint32) {
+		if recSet[u] || seeded[u] {
+			return // lost vertices are already re-enqueued at their new owner
+		}
+		seeded[u] = true
+		nd := c.nodes[c.owner[u]]
+		nd.wl = append(nd.wl, u)
+		c.Stats.ReplaySeeds++
+	}
+	// Additions whose candidate may only ever have existed inside the dead
+	// worker: re-enqueue the source so it re-pushes with its current value.
+	for _, u := range c.addLog {
+		if recSet[u.Dst] {
+			seed(uint32(u.Src))
+		}
+	}
+	// Survivors replay logged candidates aimed at lost vertices. A logged
+	// value must not be resent verbatim — the edge that carried it may have
+	// been deleted (or deleted and re-added at another weight) since the
+	// send, making the old candidate unachievable. Instead the candidate is
+	// recomputed from the sender's *current* authoritative value over the
+	// *current* edge, which is safe whenever the sender was never trimmed
+	// since the commit (its value can only have improved, so the recomputed
+	// candidate still over-approximates an achievable one). A trimmed-since
+	// sender is re-enqueued to regenerate from scratch, and a vanished edge
+	// means the influence no longer exists at all.
+	for _, n := range c.nodes {
+		if !c.live[n.id] {
+			continue
+		}
+		for _, m := range n.replayLog {
+			if !recSet[m.v] || m.parent < 0 {
+				continue
+			}
+			u := uint32(m.parent)
+			if recSet[u] {
+				continue
+			}
+			if c.trimSinceCkpt[u] {
+				seed(u)
+				continue
+			}
+			w, ok := c.G.HasEdge(graph.VertexID(u), graph.VertexID(m.v))
+			if !ok {
+				continue
+			}
+			cand := c.Alg.Propagate(c.nodes[c.owner[u]].vals[u], w)
+			c.sendMsg(n.id, int(c.owner[m.v]), clusterMsg{v: m.v, val: cand, parent: int32(u)}, false)
+			c.Stats.ReplayedMsgs++
+		}
+	}
+}
+
+// chainBroken reports whether v's checkpoint-time support chain lost an edge
+// to a deletion since the commit (a deleted-then-re-added edge counts as
+// broken — the new weight need not match the old one). state memoizes
+// verdicts across one recovery (0 unknown, 1 intact, 2 broken); the
+// checkpoint parents form a forest, so the walk terminates at a root.
+func (c *Cluster) chainBroken(v uint32, state []uint8, delSet map[[2]uint32]bool) bool {
+	var path []uint32
+	cur := v
+	for state[cur] == 0 {
+		p := c.ckpt.parent[cur]
+		if p < 0 {
+			state[cur] = 1
+			break
+		}
+		if delSet[[2]uint32{uint32(p), cur}] {
+			state[cur] = 2
+			break
+		}
+		path = append(path, cur)
+		cur = uint32(p)
+	}
+	res := state[cur]
+	for _, x := range path {
+		state[x] = res
+	}
+	return res == 2
+}
+
+// rejoinDead re-admits crashed workers at the batch boundary with a full
+// state transfer (values, key edges, fresh links), then rebalances the
+// flow-worker table over the restored worker set.
+func (c *Cluster) rejoinDead() {
+	if c.fc.NoRejoin {
+		return
+	}
+	var vals []float64
+	rejoined := false
+	for d := range c.nodes {
+		if c.live[d] {
+			continue
+		}
+		if vals == nil {
+			vals = c.Values()
+		}
+		n := c.nodes[d]
+		copy(n.vals, vals)
+		copy(n.parent, c.parent)
+		for i := range n.trimmed {
+			n.trimmed[i] = false
+		}
+		n.inbox, n.wl = nil, nil
+		n.replayLog = n.replayLog[:0]
+		for p := range c.nodes {
+			n.resetLink(p)
+			if c.live[p] {
+				c.nodes[p].resetLink(d)
+			}
+		}
+		c.live[d] = true
+		c.detected[d] = false
+		c.crashRound[d] = 0
+		c.Stats.Rejoins++
+		rejoined = true
+	}
+	if rejoined {
+		c.partition(c.part.Cap)
+	}
+}

@@ -1,0 +1,241 @@
+package dist
+
+// Reliable delivery for the cluster's data plane. Each directed node pair is
+// a link carrying sequence-numbered packets; the receiver holds out-of-order
+// arrivals in a reorder buffer, delivers to the application strictly in send
+// order, dedups by sequence number, and returns cumulative acks. Senders
+// retransmit unacked packets on an exponential-backoff timer. The layer
+// therefore masks every non-crash fault the injector produces.
+//
+// In-order (FIFO) delivery per link is load-bearing, not a convenience: a
+// shadow refresh overtaken by an older refresh would roll a shadow copy
+// back to a staler value, and the batch-end invariant "every shadow equals
+// the owner's value" — which ownership migration at repartition relies on —
+// only holds if refreshes apply in generation order.
+
+// packet is one network-level message: either sequenced application data or
+// an unsequenced cumulative ack. deliver is the round it arrives.
+type packet struct {
+	from, to int
+	seq      uint64
+	isAck    bool
+	ackSeq   uint64 // receiver's nextExpect for the reverse data direction
+	msg      clusterMsg
+	deliver  int
+}
+
+// pendingPkt is an unacked send awaiting retransmission.
+type pendingPkt struct {
+	seq       uint64
+	msg       clusterMsg
+	sentRound int
+	retries   int
+}
+
+// sendLink is the sender half of one directed link.
+type sendLink struct {
+	nextSeq uint64
+	pending []pendingPkt
+}
+
+// recvLink is the receiver half: the next in-order sequence number plus a
+// reorder buffer for everything that arrived early.
+type recvLink struct {
+	nextExpect uint64
+	buffer     map[uint64]clusterMsg
+}
+
+func newRecvLink() *recvLink { return &recvLink{buffer: make(map[uint64]clusterMsg)} }
+
+// resetLink re-initializes both halves of this node's link with peer.
+func (n *clusterNode) resetLink(peer int) {
+	n.send[peer] = &sendLink{}
+	n.recv[peer] = newRecvLink()
+}
+
+// network is the in-flight packet set, kept in push order so that delivery
+// within a round is deterministic.
+type network struct {
+	q []packet
+}
+
+// pushPacket runs one packet through the fault injector and enqueues the
+// surviving copies.
+func (c *Cluster) pushPacket(p packet) {
+	for _, d := range c.inj.deliveries(c.round) {
+		p.deliver = d
+		if c.inj.reorder() {
+			// Swap delivery times with the most recent in-flight packet on
+			// the same link, the classic adjacent-transposition reorder.
+			for i := len(c.net.q) - 1; i >= 0; i-- {
+				q := &c.net.q[i]
+				if q.from == p.from && q.to == p.to {
+					p.deliver, q.deliver = q.deliver, p.deliver
+					break
+				}
+			}
+		}
+		c.net.q = append(c.net.q, p)
+	}
+}
+
+// sendMsg sends one application message. Local sends bypass the network
+// (and the injector: a node does not drop messages to itself). Cross-node
+// sends are sequenced, tracked for retransmission, and — for candidates —
+// logged for upstream-backup replay during crash recovery.
+func (c *Cluster) sendMsg(from, to int, m clusterMsg, logIt bool) {
+	if from == to {
+		c.nodes[to].inbox = append(c.nodes[to].inbox, m)
+		return
+	}
+	if !c.live[to] && c.detected[to] {
+		return // Manager has announced the death; nobody addresses it
+	}
+	n := c.nodes[from]
+	link := n.send[to]
+	seq := link.nextSeq
+	link.nextSeq++
+	link.pending = append(link.pending, pendingPkt{seq: seq, msg: m, sentRound: c.round})
+	if logIt {
+		n.replayLog = append(n.replayLog, m)
+	}
+	c.LastCrossMsgs++
+	c.pushPacket(packet{from: from, to: to, seq: seq, msg: m})
+}
+
+// sendAck returns a cumulative ack for the from→to data direction. Acks are
+// unsequenced and fault-exposed; a lost ack just means a retransmission that
+// the receiver dedups and re-acks.
+func (c *Cluster) sendAck(from, to int, ackSeq uint64) {
+	c.pushPacket(packet{from: from, to: to, isAck: true, ackSeq: ackSeq})
+}
+
+// deliverRound moves every packet due this round to its destination.
+func (c *Cluster) deliverRound() {
+	if len(c.net.q) == 0 {
+		return
+	}
+	q := c.net.q
+	rest := q[:0]
+	var due []packet
+	for _, p := range q {
+		if p.deliver <= c.round {
+			due = append(due, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	// Acks emitted while delivering land after rest with deliver > round,
+	// so they cannot be processed within this same round.
+	c.net.q = rest
+	for _, p := range due {
+		c.deliverPacket(p)
+	}
+}
+
+// deliverPacket applies one arrival: ack bookkeeping, or reorder-buffer
+// insertion + in-order flush + ack.
+func (c *Cluster) deliverPacket(p packet) {
+	if !c.live[p.to] {
+		return // delivery to a crashed worker is void
+	}
+	if p.isAck {
+		link := c.nodes[p.to].send[p.from]
+		keep := link.pending[:0]
+		for _, pp := range link.pending {
+			if pp.seq >= p.ackSeq {
+				keep = append(keep, pp)
+			}
+		}
+		link.pending = keep
+		return
+	}
+	rl := c.nodes[p.to].recv[p.from]
+	if p.seq < rl.nextExpect {
+		c.Stats.DupsDiscarded++ // stale: already delivered, ack must have been lost
+	} else if _, dup := rl.buffer[p.seq]; dup {
+		c.Stats.DupsDiscarded++
+	} else {
+		rl.buffer[p.seq] = p.msg
+		for {
+			m, ok := rl.buffer[rl.nextExpect]
+			if !ok {
+				break
+			}
+			delete(rl.buffer, rl.nextExpect)
+			rl.nextExpect++
+			c.nodes[p.to].inbox = append(c.nodes[p.to].inbox, m)
+		}
+	}
+	c.sendAck(p.to, p.from, rl.nextExpect)
+}
+
+// retransmitRound resends every pending packet whose backoff timer expired.
+// Retransmissions run through the injector again — the network is just as
+// hostile to them.
+func (c *Cluster) retransmitRound() {
+	base := c.fc.retransRounds()
+	for _, n := range c.nodes {
+		if !c.live[n.id] {
+			continue
+		}
+		for peer, link := range n.send {
+			if peer == n.id || (!c.live[peer] && c.detected[peer]) {
+				continue
+			}
+			for i := range link.pending {
+				pp := &link.pending[i]
+				shift := pp.retries
+				if shift > 6 {
+					shift = 6
+				}
+				if c.round-pp.sentRound >= base<<uint(shift) {
+					pp.sentRound = c.round
+					pp.retries++
+					c.Stats.Retransmits++
+					c.pushPacket(packet{from: n.id, to: peer, seq: pp.seq, msg: pp.msg})
+				}
+			}
+		}
+	}
+}
+
+// linksIdle reports whether every live link has no unacked sends and no
+// buffered out-of-order arrivals.
+func (c *Cluster) linksIdle() bool {
+	for _, n := range c.nodes {
+		if !c.live[n.id] {
+			continue
+		}
+		for peer, link := range n.send {
+			if peer == n.id || !c.live[peer] {
+				continue // links to the dead are purged at detection
+			}
+			if len(link.pending) > 0 {
+				return false
+			}
+		}
+		for peer, rl := range n.recv {
+			if peer == n.id {
+				continue
+			}
+			if len(rl.buffer) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// purgeNode drops every in-flight packet to or from a node the Manager has
+// just declared dead.
+func (c *Cluster) purgeNode(d int) {
+	keep := c.net.q[:0]
+	for _, p := range c.net.q {
+		if p.from == d || p.to == d {
+			continue
+		}
+		keep = append(keep, p)
+	}
+	c.net.q = keep
+}

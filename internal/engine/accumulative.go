@@ -166,8 +166,28 @@ func (e *Accumulative) Partition() *dflow.Partition { return e.part }
 // Forest exposes the structural D-tree forest.
 func (e *Accumulative) Forest() *etree.Forest { return e.forest }
 
-// ProcessBatch applies one batch and incrementally reconverges.
+// ProcessBatch applies one batch and incrementally reconverges. It panics
+// on a malformed batch; ProcessBatchE is the error-returning form.
 func (e *Accumulative) ProcessBatch(batch graph.Batch) BatchStats {
+	st, err := e.ProcessBatchE(batch)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// ProcessBatchE is ProcessBatch with graceful degradation: the batch is
+// validated up front and a malformed update stream returns a
+// *graph.BatchError without mutating any engine state, so a caller fed by
+// an untrusted source can drop the bad batch and keep going.
+func (e *Accumulative) ProcessBatchE(batch graph.Batch) (BatchStats, error) {
+	if err := e.G.CheckBatch(batch); err != nil {
+		return BatchStats{}, err
+	}
+	return e.processBatch(batch), nil
+}
+
+func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 	var st BatchStats
 	t0 := time.Now()
 	e.probe.BeginBatch()

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolStressCrossActivation hammers the pool with concurrent cross-unit
+// reactivations and asserts no work is ever lost in the unitPending →
+// re-queue transition: every token added to a unit's mailbox before the
+// matching activate call must be consumed by the time run returns
+// quiescent. The fan-out mirrors how engine workers push cross-flow
+// messages to other units mid-processing, the historical lost-wakeup spot
+// (a token added while its unit is running must flip it to unitPending so
+// it re-queues, not idle out with mail unread). Run under -race.
+func TestPoolStressCrossActivation(t *testing.T) {
+	const (
+		numUnits = 64
+		workers  = 8
+		seed     = 4       // tokens pre-loaded per unit before run
+		budget   = 200_000 // cap on total tokens ever injected
+	)
+	units := make([]*unit, numUnits)
+	for i := range units {
+		units[i] = &unit{id: int32(i), level: i % 4}
+	}
+	tokens := make([]atomic.Int64, numUnits)
+	var injected, consumed atomic.Int64
+
+	p := newPool()
+	fn := func(_ int, u *unit) {
+		n := tokens[u.id].Swap(0)
+		if n == 0 {
+			return // benign: a racing drain beat this activation
+		}
+		consumed.Add(n)
+		// Push follow-up work to two deterministically-chosen other units:
+		// token first, activate second, exactly like a cross-flow message.
+		h := uint64(u.id)*0x9E3779B97F4A7C15 + uint64(n)*0xBF58476D1CE4E5B9
+		for k := 0; k < 2; k++ {
+			h ^= h >> 33
+			h *= 0xFF51AFD7ED558CCD
+			h ^= h >> 33
+			tgt := int(h % numUnits)
+			if injected.Add(1) > budget {
+				injected.Add(-1)
+				continue
+			}
+			tokens[tgt].Add(1)
+			p.activate(units[tgt])
+		}
+	}
+
+	for i := range units {
+		tokens[i].Store(seed)
+		injected.Add(seed)
+		p.activate(units[i])
+	}
+	p.run(workers, fn)
+
+	if got, want := consumed.Load(), injected.Load(); got != want {
+		t.Fatalf("lost work: consumed %d of %d injected tokens", got, want)
+	}
+	for i := range tokens {
+		if n := tokens[i].Load(); n != 0 {
+			t.Fatalf("unit %d quiesced with %d unread tokens", i, n)
+		}
+		if s := units[i].state.Load(); s != unitIdle {
+			t.Fatalf("unit %d quiesced in state %d", i, s)
+		}
+	}
+	if injected.Load() < budget/2 {
+		t.Fatalf("reactivation storm died early: only %d tokens injected (budget %d)", injected.Load(), budget)
+	}
+}

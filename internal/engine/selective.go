@@ -140,8 +140,28 @@ func (e *Selective) Parent(v graph.VertexID) int32 { return e.parent[v] }
 func (e *Selective) Partition() *dflow.Partition { return e.part }
 
 // ProcessBatch applies one batch of updates and incrementally reconverges.
-// It implements processEdgeStream of Fig 10.
+// It implements processEdgeStream of Fig 10. It panics on a malformed batch;
+// ProcessBatchE is the error-returning form.
 func (e *Selective) ProcessBatch(batch graph.Batch) BatchStats {
+	st, err := e.ProcessBatchE(batch)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// ProcessBatchE is ProcessBatch with graceful degradation: the batch is
+// validated up front and a malformed update stream returns a
+// *graph.BatchError without mutating any engine state, so a caller fed by
+// an untrusted source can drop the bad batch and keep going.
+func (e *Selective) ProcessBatchE(batch graph.Batch) (BatchStats, error) {
+	if err := e.G.CheckBatch(batch); err != nil {
+		return BatchStats{}, err
+	}
+	return e.processBatch(batch), nil
+}
+
+func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	var st BatchStats
 	t0 := time.Now()
 	e.probe.BeginBatch()

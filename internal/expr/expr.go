@@ -31,6 +31,9 @@ type Scale struct {
 	MaxNodes int
 	// Workers for the engines (0 = GOMAXPROCS).
 	Workers int
+	// Faults optionally adds a custom schedule (dist.ParseFaults syntax)
+	// to the fault-sensitivity ablation.
+	Faults string
 }
 
 // Quick is the default laptop-scale configuration.

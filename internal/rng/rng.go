@@ -115,6 +115,20 @@ func (x *Xoshiro256) Float64() float64 {
 	return float64(x.Uint64()>>11) / (1 << 53)
 }
 
+// Bool returns true with probability p. Values of p outside [0, 1] clamp to
+// always-false / always-true. Fault injectors use this for per-packet
+// drop/duplicate/delay decisions so a chaos schedule is one deterministic
+// stream of Bernoulli draws.
+func (x *Xoshiro256) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return x.Float64() < p
+}
+
 // Weight returns a uniform edge weight in [1, maxW]. Integral weights keep
 // shortest-path results exactly comparable across engines.
 func (x *Xoshiro256) Weight(maxW int) float64 {

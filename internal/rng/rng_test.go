@@ -218,6 +218,34 @@ func TestUint32Bits(t *testing.T) {
 	}
 }
 
+func TestBoolEdgesAndRate(t *testing.T) {
+	x := New(11)
+	if x.Bool(0) || x.Bool(-1) {
+		t.Fatal("Bool(p<=0) must be false")
+	}
+	if !x.Bool(1) || !x.Bool(2) {
+		t.Fatal("Bool(p>=1) must be true")
+	}
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if x.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.28 || got > 0.32 {
+		t.Fatalf("Bool(0.3) rate = %.3f", got)
+	}
+	// Same seed, same decision stream.
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Bool(0.5) != b.Bool(0.5) {
+			t.Fatal("Bool is not deterministic per seed")
+		}
+	}
+}
+
 func BenchmarkXoshiroUint64(b *testing.B) {
 	x := New(1)
 	var sink uint64

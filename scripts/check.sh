@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo verification: build, vet, race-enabled tests, and a seeded chaos
+# smoke run of the fault-tolerant distributed runtime. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== chaos smoke (seeded fault injection, distributed SSSP) =="
+go run ./cmd/graphfly -algo SSSP -dataset TT -nEdges 2000 -numberOfUpdateBatches 3 \
+    -nodes 4 -faults seed=7,drop=0.1,dup=0.05,delay=0.2,reorder=0.1,crash=0.01,maxcrashes=2,crashat=1:5:2
+
+echo "OK"
