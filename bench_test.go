@@ -24,7 +24,7 @@ func runFigure(b *testing.B, run func(expr.Scale) expr.Table) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		t := run(sc)
-		if len(t.Rows) == 0 {
+		if len(t.Cells) == 0 {
 			b.Fatalf("%s produced no rows", t.ID)
 		}
 	}

@@ -24,6 +24,8 @@ import (
 	"repro/internal/gen"
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -43,7 +45,18 @@ func main() {
 	streamPath := flag.String("streamPath", "", "load the update stream from a stream file instead of sampling it")
 	nodes := flag.Int("nodes", 0, "run the distributed cluster simulation over this many worker nodes (selective algorithms only)")
 	faults := flag.String("faults", "", "fault injection spec for -nodes mode, e.g. seed=7,drop=0.05,crash=0.01,crashat=1:3:0 (keys: seed drop dup delay reorder maxdelay crash maxcrashes crashat detect retrans ckpt maxrounds norejoin)")
+	showMetrics := flag.Bool("metrics", false, "print engine counters and phase histograms at exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a heap profile here at exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace here")
 	flag.Parse()
+
+	profStop, err := prof.Start(*cpuprofile, *tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphfly: %v\n", err)
+		os.Exit(1)
+	}
+	defer profStop()
 
 	var fcfg dist.FaultConfig
 	if *faults != "" {
@@ -94,6 +107,11 @@ func main() {
 		})
 	}
 	eCfg := engine.Config{Workers: *workers, FlowCap: *flowCap}
+	var reg *metrics.Registry
+	if *showMetrics {
+		reg = metrics.NewRegistry()
+		eCfg.Metrics = reg
+	}
 
 	var (
 		values  func() []float64
@@ -200,6 +218,14 @@ func main() {
 	digest(values(), dim)
 	if *outputFile != "" {
 		writeValues(*outputFile, values(), dim)
+	}
+	if reg != nil {
+		fmt.Print(reg.Snapshot().String())
+	}
+	profStop()
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		fmt.Fprintf(os.Stderr, "graphfly: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,23 @@
+package cachesim
+
+import "repro/internal/metrics"
+
+// Record publishes the stats into a metrics registry under prefix (e.g.
+// "cachesim.fig12.LJ.gf_sssp"), so cache-behaviour figures land in the
+// same BENCH_*.json machine-readable report as the timing figures. A nil
+// registry is a no-op, matching the layer's disabled-costs-nothing rule.
+func (s Stats) Record(r *metrics.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	set := func(name string, v uint64) {
+		r.Counter(prefix + "." + name).Add(int64(v))
+	}
+	set("accesses", s.Total())
+	set("hits", s.Hits)
+	set("misses", s.Misses)
+	set("redundant", s.Redundant)
+	set("redundant_misses", s.RedundantMisses)
+	r.Gauge(prefix + ".redundancy_ratio").Set(s.RedundancyRatio())
+	r.Gauge(prefix + ".hit_rate").Set(s.HitRate())
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/dflow"
+	"repro/internal/engine"
 	"repro/internal/etree"
 	"repro/internal/graph"
 )
@@ -93,8 +94,8 @@ type clusterNode struct {
 	inbox   []clusterMsg
 	wl      []uint32
 
-	send      []*sendLink // per peer
-	recv      []*recvLink // per peer
+	send      []*sendLink  // per peer
+	recv      []*recvLink  // per peer
 	replayLog []clusterMsg // candidates sent cross-node since last checkpoint
 }
 
@@ -452,27 +453,10 @@ func (c *Cluster) broadcastShadow(n *clusterNode, v uint32) {
 	}
 }
 
-func symmetrize(b graph.Batch) graph.Batch {
-	type key struct{ a, b graph.VertexID }
-	seen := make(map[key]bool, len(b))
-	out := make(graph.Batch, 0, 2*len(b))
-	for _, u := range b {
-		a, d := u.Src, u.Dst
-		if a > d {
-			a, d = d, a
-		}
-		k := key{a, d}
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out,
-			graph.Update{Edge: graph.Edge{Src: a, Dst: d, W: u.W}, Del: u.Del},
-			graph.Update{Edge: graph.Edge{Src: d, Dst: a, W: u.W}, Del: u.Del},
-		)
-	}
-	return out
-}
+// symmetrize delegates to the engine's canonical implementation so the
+// distributed runtime and the single-machine engines agree on undirected
+// batch semantics (last update per pair wins).
+func symmetrize(b graph.Batch) graph.Batch { return engine.Symmetrize(b) }
 
 // sortedCopy returns v ascending (small helper for deterministic recovery
 // iteration).

@@ -300,6 +300,7 @@ func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 	st.Relaxations = e.pushes.Load()
 	st.CrossMsgs = e.crossMsgs.Load()
 	st.Total = time.Since(t0)
+	e.cfg.observe(&st)
 	return st
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 // Config controls a GraphFly engine instance. The zero value is usable:
@@ -51,6 +52,10 @@ type Config struct {
 	// TraceWork records per-flow work and cross-flow message volume for
 	// the distributed simulation (small overhead).
 	TraceWork bool
+	// Metrics, when non-nil, receives per-batch counters and per-phase
+	// duration histograms (internal/metrics). Nil costs one pointer
+	// comparison per batch — the same no-op discipline as Probe.
+	Metrics *metrics.Registry
 }
 
 func (c Config) workers() int {
@@ -127,25 +132,32 @@ func (f *flags) swapSet(v uint32) bool {
 }
 
 // Symmetrize expands a batch for undirected algorithms: each update is
-// canonicalized to its (min,max) pair, deduplicated, and emitted in both
+// canonicalized to its (min,max) pair, deduplicated with the *last* update
+// for a pair winning (batch order semantics: an add followed by a del of
+// the same undirected edge is a delete, not an add), and emitted in both
 // directions so the directed graph faithfully models an undirected one.
 func Symmetrize(b graph.Batch) graph.Batch {
 	type key struct{ a, b graph.VertexID }
-	seen := make(map[key]bool, len(b))
-	out := make(graph.Batch, 0, 2*len(b))
+	at := make(map[key]int, len(b))
+	canon := make(graph.Batch, 0, len(b))
 	for _, u := range b {
 		a, c := u.Src, u.Dst
 		if a > c {
 			a, c = c, a
 		}
-		k := key{a, c}
-		if seen[k] {
+		cu := graph.Update{Edge: graph.Edge{Src: a, Dst: c, W: u.W}, Del: u.Del}
+		if i, ok := at[key{a, c}]; ok {
+			canon[i] = cu
 			continue
 		}
-		seen[k] = true
+		at[key{a, c}] = len(canon)
+		canon = append(canon, cu)
+	}
+	out := make(graph.Batch, 0, 2*len(canon))
+	for _, u := range canon {
 		out = append(out,
-			graph.Update{Edge: graph.Edge{Src: a, Dst: c, W: u.W}, Del: u.Del},
-			graph.Update{Edge: graph.Edge{Src: c, Dst: a, W: u.W}, Del: u.Del},
+			u,
+			graph.Update{Edge: graph.Edge{Src: u.Dst, Dst: u.Src, W: u.W}, Del: u.Del},
 		)
 	}
 	return out

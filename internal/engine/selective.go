@@ -315,6 +315,7 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	st.Pulls = e.pulls.Load()
 	st.CrossMsgs = e.crossMsgs.Load()
 	st.Total = time.Since(t0)
+	e.cfg.observe(&st)
 	return st
 }
 

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+)
+
+// find returns the update for directed pair (s,d), failing if absent.
+func find(t *testing.T, b graph.Batch, s, d graph.VertexID) graph.Update {
+	t.Helper()
+	for _, u := range b {
+		if u.Src == s && u.Dst == d {
+			return u
+		}
+	}
+	t.Fatalf("no update for %d->%d in %+v", s, d, b)
+	return graph.Update{}
+}
+
+// TestSymmetrizeLastUpdateWins is the regression test for the dedup bug:
+// Symmetrize used to keep the *first* update per undirected pair, so an
+// add followed by a del of the same edge silently dropped the delete and
+// re-weight adds kept the stale first weight.
+func TestSymmetrizeLastUpdateWins(t *testing.T) {
+	// add(1,2) then del(1,2): the delete must win, in both directions.
+	s := Symmetrize(graph.Batch{
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 7}},
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 7}, Del: true},
+	})
+	if len(s) != 2 {
+		t.Fatalf("add+del emitted %d updates: %+v", len(s), s)
+	}
+	if u := find(t, s, 1, 2); !u.Del {
+		t.Fatalf("add+del kept the add: %+v", s)
+	}
+	if u := find(t, s, 2, 1); !u.Del {
+		t.Fatalf("add+del kept the add in the mirrored direction: %+v", s)
+	}
+
+	// del(2,1) then add(1,2): the add must win (canonicalization must not
+	// hide that these address the same undirected edge).
+	s = Symmetrize(graph.Batch{
+		{Edge: graph.Edge{Src: 2, Dst: 1, W: 3}, Del: true},
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 3}},
+	})
+	if len(s) != 2 {
+		t.Fatalf("del+add emitted %d updates: %+v", len(s), s)
+	}
+	if u := find(t, s, 1, 2); u.Del || u.W != 3 {
+		t.Fatalf("del+add kept the del: %+v", s)
+	}
+
+	// add(1,2,w=5) then add(2,1,w=9): the re-weight must win.
+	s = Symmetrize(graph.Batch{
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 5}},
+		{Edge: graph.Edge{Src: 2, Dst: 1, W: 9}},
+	})
+	if len(s) != 2 {
+		t.Fatalf("re-weight emitted %d updates: %+v", len(s), s)
+	}
+	if u := find(t, s, 1, 2); u.W != 9 {
+		t.Fatalf("re-weight kept stale weight %v: %+v", u.W, s)
+	}
+	if u := find(t, s, 2, 1); u.W != 9 {
+		t.Fatalf("mirrored re-weight kept stale weight %v: %+v", u.W, s)
+	}
+
+	// All three conflict shapes in one batch, mixed with an independent
+	// pair: per-pair resolution must not interfere across pairs.
+	s = Symmetrize(graph.Batch{
+		{Edge: graph.Edge{Src: 0, Dst: 1, W: 1}},            // add, then deleted below
+		{Edge: graph.Edge{Src: 3, Dst: 2, W: 4}, Del: true}, // del, then re-added below
+		{Edge: graph.Edge{Src: 4, Dst: 5, W: 2}},            // untouched pair
+		{Edge: graph.Edge{Src: 1, Dst: 0, W: 1}, Del: true}, // kills (0,1)
+		{Edge: graph.Edge{Src: 2, Dst: 3, W: 8}},            // revives (2,3) at w=8
+	})
+	if len(s) != 6 {
+		t.Fatalf("mixed batch emitted %d updates: %+v", len(s), s)
+	}
+	if u := find(t, s, 0, 1); !u.Del {
+		t.Fatalf("(0,1) add survived its delete: %+v", s)
+	}
+	if u := find(t, s, 2, 3); u.Del || u.W != 8 {
+		t.Fatalf("(2,3) delete survived its re-add: %+v", s)
+	}
+	if u := find(t, s, 4, 5); u.Del || u.W != 2 {
+		t.Fatalf("(4,5) mangled: %+v", s)
+	}
+}
+
+// TestSymmetricEngineAppliesIntraBatchDelete runs the bug end to end: a
+// CC engine (symmetric) fed a batch whose bridge edge is added and then
+// deleted must agree with a from-scratch solve on the resulting graph —
+// on HEAD before the fix the delete was dropped and the components stayed
+// merged.
+func TestSymmetricEngineAppliesIntraBatchDelete(t *testing.T) {
+	// Two 2-cliques, no bridge.
+	initial := []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 0, W: 1},
+		{Src: 2, Dst: 3, W: 1}, {Src: 3, Dst: 2, W: 1},
+	}
+	g := graph.FromEdges(4, initial)
+	e := NewSelective(g, algo.CC{}, Config{Workers: 2})
+
+	// One batch: bridge 1-2 appears and disappears.
+	batch := graph.Batch{
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 1}},
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 1}, Del: true},
+	}
+	e.ProcessBatch(batch)
+
+	ref := graph.FromEdges(4, initial)
+	ref.ApplyBatch(Symmetrize(batch))
+	want, _ := algo.SolveSelective(ref, algo.CC{})
+	got := e.Values()
+	for v := range want {
+		if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+			t.Fatalf("vertex %d = %v, want %v (intra-batch delete dropped)", v, got[v], want[v])
+		}
+	}
+	// And the engine's graph must not contain the bridge.
+	if _, ok := e.G.HasEdge(1, 2); ok {
+		t.Fatal("bridge edge 1->2 survived the batch")
+	}
+	if _, ok := e.G.HasEdge(2, 1); ok {
+		t.Fatal("bridge edge 2->1 survived the batch")
+	}
+	// The components must have diverged again (0/1 vs 2/3).
+	if got[0] == got[2] {
+		t.Fatalf("components still merged after delete: %v", got)
+	}
+}

@@ -1,7 +1,6 @@
 package expr
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/algo"
@@ -21,10 +20,8 @@ func AblationFlowCap(sc Scale) Table {
 	w := workload("TW", sc, 0.3, 0xA1)
 	for _, cap := range []int{64, 256, 1024, 4096} {
 		e := graphflySelective(w, algo.SSSP{Src: 0}, engine.Config{Workers: sc.Workers, FlowCap: cap})
-		total, _ := runBatches(e, w)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", cap), ms(total), fmt.Sprintf("%d", e.Partition().NumFlows()),
-		})
+		total, _ := runBatches(sc, e, w)
+		t.AddRow(IntCell(cap), Dur(total), IntCell(e.Partition().NumFlows()))
 	}
 	return t
 }
@@ -40,7 +37,7 @@ func AblationSCC(sc Scale) Table {
 	w := workload("TW", sc, 0.3, 0xA2)
 	for _, noMerge := range []bool{false, true} {
 		cfg := engine.Config{Workers: sc.Workers, NoSCCMerge: noMerge}
-		total, stats := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
+		total, stats := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
 		var msgs int64
 		for _, st := range stats {
 			msgs += st.CrossMsgs
@@ -49,7 +46,7 @@ func AblationSCC(sc Scale) Table {
 		if noMerge {
 			mode = "independent"
 		}
-		t.Rows = append(t.Rows, []string{mode, ms(total), fmt.Sprintf("%d", msgs)})
+		t.AddRow(Str(mode), Dur(total), Int64(msgs))
 	}
 	return t
 }
@@ -67,12 +64,12 @@ func AblationAsync(sc Scale) Table {
 	w := workload("TW", sc, 0.3, 0xA3)
 	for _, twoPhase := range []bool{false, true} {
 		cfg := engine.Config{Workers: sc.Workers, TwoPhase: twoPhase}
-		total, _ := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
+		total, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
 		mode := "async fused"
 		if twoPhase {
 			mode = "two-phase barrier"
 		}
-		t.Rows = append(t.Rows, []string{mode, ms(total)})
+		t.AddRow(Str(mode), Dur(total))
 	}
 	return t
 }
@@ -90,12 +87,12 @@ func AblationTriangle(sc Scale) Table {
 	for _, backward := range []bool{false, true} {
 		cfg := engine.Config{Workers: sc.Workers, BackwardFlows: backward}
 		e := graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfg)
-		total, _ := runBatches(e, w)
+		total, _ := runBatches(sc, e, w)
 		name := "forward (lower)"
 		if backward {
 			name = "backward (upper)"
 		}
-		t.Rows = append(t.Rows, []string{name, ms(total), fmt.Sprintf("%d", e.Partition().NumFlows())})
+		t.AddRow(Str(name), Dur(total), IntCell(e.Partition().NumFlows()))
 	}
 	return t
 }
@@ -117,7 +114,7 @@ func AblationFaults(sc Scale) Table {
 
 	// One traced single-machine run feeds the cost-model column.
 	tCfg := engine.Config{Workers: sc.Workers, FlowCap: 64, TraceWork: true}
-	_, tStats := runBatches(graphflySelective(w, a, tCfg), w)
+	_, tStats := runBatches(sc, graphflySelective(w, a, tCfg), w)
 	traces := make([]*engine.WorkTrace, 0, len(tStats))
 	for _, st := range tStats {
 		traces = append(traces, st.Trace)
@@ -181,15 +178,9 @@ func AblationFaults(sc Scale) Table {
 			CheckpointEvery: 4, CheckpointNsPerFlow: 200,
 		}
 		sim := dist.Simulate(tr, pl, m, true).MakespanNs / 1e6
-		t.Rows = append(t.Rows, []string{
-			cse.name,
-			fmt.Sprintf("%d", rounds),
-			fmt.Sprintf("%d", c.Stats.Retransmits),
-			fmt.Sprintf("%d", c.Stats.Crashes),
-			fmt.Sprintf("%d", c.Stats.RecoveredVerts),
-			exact,
-			fmt.Sprintf("%.3f", sim),
-		})
+		t.AddRow(Str(cse.name), IntCell(rounds), Int64(int64(c.Stats.Retransmits)),
+			Int64(int64(c.Stats.Crashes)), Int64(int64(c.Stats.RecoveredVerts)),
+			Str(exact), Float(sim, 3))
 	}
 	return t
 }

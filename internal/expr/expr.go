@@ -15,26 +15,35 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphbolt"
 	"repro/internal/kickstarter"
+	"repro/internal/metrics"
 )
 
 // Scale bounds an experiment so the same runner serves quick CI runs and
 // fuller reproductions.
 type Scale struct {
 	// EdgeCap caps each dataset's edge count (0 = the preset size).
-	EdgeCap int
+	EdgeCap int `json:"edge_cap"`
 	// BatchSize is the per-batch update count ("100K edge mutations"
 	// scaled to the dataset).
-	BatchSize int
+	BatchSize int `json:"batch_size"`
 	// Batches is the number of update batches per run.
-	Batches int
+	Batches int `json:"batches"`
 	// MaxNodes bounds the distributed sweep.
-	MaxNodes int
+	MaxNodes int `json:"max_nodes"`
 	// Workers for the engines (0 = GOMAXPROCS).
-	Workers int
+	Workers int `json:"workers"`
 	// Faults optionally adds a custom schedule (dist.ParseFaults syntax)
 	// to the fault-sensitivity ablation.
-	Faults string
+	Faults string `json:"faults,omitempty"`
+	// Rec, when non-nil, collects every batch the figure runners process
+	// into the machine-readable perf trajectory (cmd/bench -json). Nil
+	// costs one pointer comparison per batch, like engine.Config.Metrics.
+	Rec *metrics.BatchRecorder `json:"-"`
 }
+
+// registry returns the recorder's backing registry (nil when metrics are
+// off), for runners that feed extra counters such as cachesim stats.
+func (sc Scale) registry() *metrics.Registry { return sc.Rec.Registry() }
 
 // Quick is the default laptop-scale configuration.
 func Quick() Scale {
@@ -46,12 +55,29 @@ func Full() Scale {
 	return Scale{EdgeCap: 0, BatchSize: 100_000, Batches: 3, MaxNodes: 16}
 }
 
-// Table is a printable experiment result.
+// Table is one experiment result: typed cells for machine consumers
+// (BENCH_*.json, scripts/benchdiff), rendered text for the CLI.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Header []string `json:"header"`
+	Cells  [][]Cell `json:"rows"`
+}
+
+// AddRow appends one row of typed cells.
+func (t *Table) AddRow(cells ...Cell) { t.Cells = append(t.Cells, cells) }
+
+// Rows renders every row as strings, in header order.
+func (t Table) Rows() [][]string {
+	rows := make([][]string, len(t.Cells))
+	for i, r := range t.Cells {
+		row := make([]string, len(r))
+		for j, c := range r {
+			row[j] = c.Text
+		}
+		rows[i] = row
+	}
+	return rows
 }
 
 // String renders the table as aligned text.
@@ -62,7 +88,8 @@ func (t Table) String() string {
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
-	for _, r := range t.Rows {
+	rows := t.Rows()
+	for _, r := range rows {
 		for i, c := range r {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -79,7 +106,7 @@ func (t Table) String() string {
 		b.WriteByte('\n')
 	}
 	line(t.Header)
-	for _, r := range t.Rows {
+	for _, r := range rows {
 		line(r)
 	}
 	return b.String()
@@ -159,14 +186,17 @@ type incrementalProcessor interface {
 }
 
 // runBatches drives an engine through a workload's batches and returns the
-// total incremental time and the per-batch stats.
-func runBatches(e incrementalProcessor, w gen.Workload) (time.Duration, []engine.BatchStats) {
+// total incremental time and the per-batch stats. When the scale carries a
+// recorder, every batch lands in the perf trajectory (all engines, baselines
+// included — the trajectory describes the whole bench run).
+func runBatches(sc Scale, e incrementalProcessor, w gen.Workload) (time.Duration, []engine.BatchStats) {
 	var total time.Duration
 	stats := make([]engine.BatchStats, 0, len(w.Batches))
 	for _, b := range w.Batches {
 		st := e.ProcessBatch(b)
 		total += st.Total
 		stats = append(stats, st)
+		sc.Rec.Observe(st.Point())
 	}
 	return total, stats
 }
@@ -209,10 +239,3 @@ func graphboltEngine(w gen.Workload, a algo.Accumulative, cfg engine.Config) *gr
 func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
 
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
-
-func ratio(a, b time.Duration) string {
-	if a == 0 {
-		return "-"
-	}
-	return fmt.Sprintf("%.2fx", float64(b)/float64(a))
-}

@@ -14,7 +14,7 @@ func TestTableRendering(t *testing.T) {
 	tab := Table{
 		ID: "X", Title: "demo",
 		Header: []string{"a", "bb"},
-		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Cells:  [][]Cell{{Str("1"), Str("2")}, {Str("333"), Str("4")}},
 	}
 	s := tab.String()
 	if !strings.Contains(s, "demo") || !strings.Contains(s, "333") {
@@ -24,10 +24,11 @@ func TestTableRendering(t *testing.T) {
 
 func TestTable1(t *testing.T) {
 	tab := Table1(tiny())
-	if len(tab.Rows) != 5 {
-		t.Fatalf("Table1 rows = %d", len(tab.Rows))
+	rows := tab.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("Table1 rows = %d", len(rows))
 	}
-	for _, r := range tab.Rows {
+	for _, r := range rows {
 		if r[1] == "0" {
 			t.Fatalf("dataset %s generated no edges", r[0])
 		}
@@ -36,10 +37,11 @@ func TestTable1(t *testing.T) {
 
 func TestFig4b(t *testing.T) {
 	tab := Fig4b(tiny())
-	if len(tab.Rows) != 5 {
-		t.Fatalf("rows = %d", len(tab.Rows))
+	rows := tab.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
 	}
-	for _, r := range tab.Rows {
+	for _, r := range rows {
 		if r[1] == "0" {
 			t.Fatalf("%s has zero flows", r[0])
 		}
@@ -48,11 +50,12 @@ func TestFig4b(t *testing.T) {
 
 func TestFig11SmallScale(t *testing.T) {
 	tab := Fig11(tiny())
+	rows := tab.Rows()
 	// 5 datasets x 6 algorithms.
-	if len(tab.Rows) != 30 {
-		t.Fatalf("rows = %d, want 30", len(tab.Rows))
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(rows))
 	}
-	for _, r := range tab.Rows {
+	for _, r := range rows {
 		if r[3] == "0.00" && r[4] == "0.00" {
 			t.Fatalf("zero timings in row %v", r)
 		}
@@ -61,62 +64,66 @@ func TestFig11SmallScale(t *testing.T) {
 
 func TestFig12Normalization(t *testing.T) {
 	tab := Fig12(tiny())
-	if len(tab.Rows) != 5 {
-		t.Fatalf("rows = %d", len(tab.Rows))
+	if len(tab.Cells) != 5 {
+		t.Fatalf("rows = %d", len(tab.Cells))
 	}
 }
 
 func TestFig13(t *testing.T) {
 	tab := Fig13(tiny())
-	if len(tab.Rows) != 5 {
-		t.Fatalf("rows = %d", len(tab.Rows))
+	if len(tab.Cells) != 5 {
+		t.Fatalf("rows = %d", len(tab.Cells))
 	}
 }
 
 func TestFig14(t *testing.T) {
 	a := Fig14a(tiny())
-	if len(a.Rows) != 5 {
-		t.Fatalf("14a rows = %d", len(a.Rows))
+	if len(a.Cells) != 5 {
+		t.Fatalf("14a rows = %d", len(a.Cells))
 	}
 	b := Fig14b(tiny())
-	if len(b.Rows) != 4 {
-		t.Fatalf("14b rows = %d", len(b.Rows))
+	if len(b.Cells) != 4 {
+		t.Fatalf("14b rows = %d", len(b.Cells))
+	}
+	if b.Header[2] != "ns/update" {
+		t.Fatalf("14b per-update column header = %q, want ns/update", b.Header[2])
 	}
 }
 
 func TestFig15(t *testing.T) {
 	a := Fig15a(tiny())
-	if len(a.Rows) != 5 {
-		t.Fatalf("15a rows = %d", len(a.Rows))
+	if len(a.Cells) != 5 {
+		t.Fatalf("15a rows = %d", len(a.Cells))
 	}
 	b := Fig15b(tiny())
-	if len(b.Rows) != 4 {
-		t.Fatalf("15b rows = %d", len(b.Rows))
+	if len(b.Cells) != 4 {
+		t.Fatalf("15b rows = %d", len(b.Cells))
 	}
 }
 
 func TestFig16Declines(t *testing.T) {
 	tab := Fig16(tiny())
-	if len(tab.Rows) < 3 {
-		t.Fatalf("rows = %d", len(tab.Rows))
+	if len(tab.Cells) < 3 {
+		t.Fatalf("rows = %d", len(tab.Cells))
 	}
 }
 
 func TestFig17(t *testing.T) {
 	tab := Fig17(tiny())
-	if len(tab.Rows) != 6 {
-		t.Fatalf("rows = %d", len(tab.Rows))
+	if len(tab.Cells) != 6 {
+		t.Fatalf("rows = %d", len(tab.Cells))
 	}
 }
 
 func TestFig4aShowsRedundancy(t *testing.T) {
 	tab := Fig4a(tiny())
-	if len(tab.Rows) != 5 {
-		t.Fatalf("rows = %d", len(tab.Rows))
+	rows := tab.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
 	}
 	// At least one engine on one dataset must show nonzero redundancy.
 	nonzero := false
-	for _, r := range tab.Rows {
+	for _, r := range rows {
 		if r[1] != "0.0%" || r[2] != "0.0%" {
 			nonzero = true
 		}
@@ -132,13 +139,13 @@ func TestAblations(t *testing.T) {
 		t.Fatalf("ablations = %d", len(tabs))
 	}
 	for _, tab := range tabs {
-		if len(tab.Rows) == 0 {
+		if len(tab.Cells) == 0 {
 			t.Fatalf("%s has no rows", tab.ID)
 		}
 	}
 	// The fault-sensitivity ablation must stay bit-exact under every
 	// schedule it sweeps.
-	for _, r := range tabs[4].Rows {
+	for _, r := range tabs[4].Rows() {
 		if r[5] != "yes" {
 			t.Fatalf("%s: schedule %q not exact: %v", tabs[4].ID, r[0], r)
 		}

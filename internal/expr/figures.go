@@ -1,7 +1,6 @@
 package expr
 
 import (
-	"fmt"
 	"math"
 	"time"
 
@@ -30,13 +29,8 @@ func Table1(sc Scale) Table {
 	for _, code := range gen.DatasetCodes() {
 		cfg := dataset(code, sc)
 		edges := gen.Generate(cfg)
-		t.Rows = append(t.Rows, []string{
-			code,
-			fmt.Sprintf("%d", len(edges)),
-			fmt.Sprintf("%d", cfg.NumV),
-			cfg.Kind.String(),
-			paper[code],
-		})
+		t.AddRow(Str(code), IntCell(len(edges)), IntCell(cfg.NumV),
+			Str(cfg.Kind.String()), Str(paper[code]))
 	}
 	return t
 }
@@ -55,18 +49,20 @@ func Fig4a(sc Scale) Table {
 		ksSim := cachesim.NewSim(cachesim.DefaultConfig())
 		ks := kickstarterEngine(w, algo.SSSP{Src: 0}, engine.Config{Workers: sc.Workers, Probe: ksSim})
 		ksSim.Reset()
-		runBatches(ks, w)
+		runBatches(sc, ks, w)
 		ksStats := ksSim.Drain()
 
 		gbSim := cachesim.NewSim(cachesim.DefaultConfig())
 		gb := graphboltEngine(w, algo.NewPageRank(w.NumV), engine.Config{Workers: sc.Workers, Probe: gbSim})
 		gbSim.Reset()
-		runBatches(gb, w)
+		runBatches(sc, gb, w)
 		gbStats := gbSim.Drain()
 
-		t.Rows = append(t.Rows, []string{
-			code, pct(ksStats.RedundancyRatio()), pct(gbStats.RedundancyRatio()),
-		})
+		if reg := sc.registry(); reg != nil {
+			ksStats.Record(reg, "cachesim.fig4a."+code+".ks_sssp")
+			gbStats.Record(reg, "cachesim.fig4a."+code+".gb_pagerank")
+		}
+		t.AddRow(Str(code), Pct(ksStats.RedundancyRatio()), Pct(gbStats.RedundancyRatio()))
 	}
 	return t
 }
@@ -88,13 +84,8 @@ func Fig4b(sc Scale) Table {
 		f := etree.NewForest(g, etree.Forward)
 		p := dflow.NewPartition(f, dflow.DefaultCap)
 		st := f.ComputeStats()
-		t.Rows = append(t.Rows, []string{
-			code,
-			fmt.Sprintf("%d", st.Trees),
-			fmt.Sprintf("%d", p.NumFlows()),
-			fmt.Sprintf("%d", st.HyperVertices),
-			fmt.Sprintf("%d", st.MaxHyperSize),
-		})
+		t.AddRow(Str(code), IntCell(st.Trees), IntCell(p.NumFlows()),
+			IntCell(st.HyperVertices), IntCell(st.MaxHyperSize))
 	}
 	return t
 }
@@ -114,20 +105,18 @@ func Fig11(sc Scale) Table {
 		for _, sa := range SelectiveAlgs() {
 			w := workload(code, sc, 0.1, 0x11)
 			a := sa.Make(w)
-			base, _ := runBatches(kickstarterEngine(w, a, cfg), w)
-			gf, _ := runBatches(graphflySelective(w, a, cfg), w)
-			t.Rows = append(t.Rows, []string{
-				code, sa.Name, "KickStarter", ms(base), ms(gf), ratio(gf, base),
-			})
+			base, _ := runBatches(sc, kickstarterEngine(w, a, cfg), w)
+			gf, _ := runBatches(sc, graphflySelective(w, a, cfg), w)
+			t.AddRow(Str(code), Str(sa.Name), Str("KickStarter"),
+				Dur(base), Dur(gf), Ratio(gf, base))
 		}
 		for _, aa := range AccumulativeAlgs() {
 			w := workload(code, sc, 0.1, 0x11)
 			a := aa.Make(w)
-			base, _ := runBatches(graphboltEngine(w, a, cfg), w)
-			gf, _ := runBatches(graphflyAccumulative(w, a, cfg), w)
-			t.Rows = append(t.Rows, []string{
-				code, aa.Name, "GraphBolt", ms(base), ms(gf), ratio(gf, base),
-			})
+			base, _ := runBatches(sc, graphboltEngine(w, a, cfg), w)
+			gf, _ := runBatches(sc, graphflyAccumulative(w, a, cfg), w)
+			t.AddRow(Str(code), Str(aa.Name), Str("GraphBolt"),
+				Dur(base), Dur(gf), Ratio(gf, base))
 		}
 	}
 	return t
@@ -145,38 +134,42 @@ func Fig12(sc Scale) Table {
 	for _, code := range gen.DatasetCodes() {
 		w := workload(code, sc, 0.3, 0x12)
 
-		missesOf := func(build func(p cachesim.Probe) incrementalProcessor) uint64 {
+		missesOf := func(name string, build func(p cachesim.Probe) incrementalProcessor) uint64 {
 			sim := cachesim.NewSim(cachesim.DefaultConfig())
 			e := build(sim)
 			sim.Reset() // measure incremental phase only
-			runBatches(e, w)
-			return sim.Drain().Misses
+			runBatches(sc, e, w)
+			st := sim.Drain()
+			if reg := sc.registry(); reg != nil {
+				st.Record(reg, "cachesim.fig12."+code+"."+name)
+			}
+			return st.Misses
 		}
 		cfgW := func(p cachesim.Probe) engine.Config {
 			return engine.Config{Workers: sc.Workers, Probe: p}
 		}
-		ks := missesOf(func(p cachesim.Probe) incrementalProcessor {
+		ks := missesOf("ks_sssp", func(p cachesim.Probe) incrementalProcessor {
 			return kickstarterEngine(w, algo.SSSP{Src: 0}, cfgW(p))
 		})
-		gfSel := missesOf(func(p cachesim.Probe) incrementalProcessor {
+		gfSel := missesOf("gf_sssp", func(p cachesim.Probe) incrementalProcessor {
 			return graphflySelective(w, algo.SSSP{Src: 0}, cfgW(p))
 		})
-		gb := missesOf(func(p cachesim.Probe) incrementalProcessor {
+		gb := missesOf("gb_pagerank", func(p cachesim.Probe) incrementalProcessor {
 			return graphboltEngine(w, algo.NewPageRank(w.NumV), cfgW(p))
 		})
-		gfAcc := missesOf(func(p cachesim.Probe) incrementalProcessor {
+		gfAcc := missesOf("gf_pagerank", func(p cachesim.Probe) incrementalProcessor {
 			return graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfgW(p))
 		})
-		norm := func(gf, base uint64) (string, string) {
+		norm := func(gf, base uint64) (Cell, Cell) {
 			if base == 0 {
-				return "-", "-"
+				return NA(), NA()
 			}
 			r := float64(gf) / float64(base)
-			return fmt.Sprintf("%.3f", r), pct(1 - r)
+			return Float(r, 3), Pct(1 - r)
 		}
 		r1, d1 := norm(gfSel, ks)
 		r2, d2 := norm(gfAcc, gb)
-		t.Rows = append(t.Rows, []string{code, r1, d1, r2, d2})
+		t.AddRow(Str(code), r1, d1, r2, d2)
 	}
 	return t
 }
@@ -197,28 +190,28 @@ func Fig13(sc Scale) Table {
 	}
 	// A cache sized well below the working set, as in the full-scale runs.
 	simCfg := cachesim.Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4}
-	missRatio := func(build func(p cachesim.Probe, scattered bool) incrementalProcessor, w gen.Workload) string {
+	missRatio := func(build func(p cachesim.Probe, scattered bool) incrementalProcessor, w gen.Workload) Cell {
 		count := func(scattered bool) uint64 {
 			sim := cachesim.NewSim(simCfg)
 			e := build(sim, scattered)
 			sim.Reset()
-			runBatches(e, w)
+			runBatches(sc, e, w)
 			return sim.Drain().Misses
 		}
 		with, without := count(false), count(true)
 		if without == 0 {
-			return "-"
+			return NA()
 		}
-		return fmt.Sprintf("%.2f", float64(with)/float64(without))
+		return Float(float64(with)/float64(without), 2)
 	}
 	for _, code := range gen.DatasetCodes() {
 		w := workload(code, sc, 0.3, 0x13)
 		withCfg := engine.Config{Workers: sc.Workers}
 		woCfg := engine.Config{Workers: sc.Workers, ScatteredStorage: true}
-		sWith, _ := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, withCfg), w)
-		sWo, _ := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, woCfg), w)
-		pWith, _ := runBatches(graphflyAccumulative(w, algo.NewPageRank(w.NumV), withCfg), w)
-		pWo, _ := runBatches(graphflyAccumulative(w, algo.NewPageRank(w.NumV), woCfg), w)
+		sWith, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, withCfg), w)
+		sWo, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, woCfg), w)
+		pWith, _ := runBatches(sc, graphflyAccumulative(w, algo.NewPageRank(w.NumV), withCfg), w)
+		pWo, _ := runBatches(sc, graphflyAccumulative(w, algo.NewPageRank(w.NumV), woCfg), w)
 		sMiss := missRatio(func(p cachesim.Probe, scattered bool) incrementalProcessor {
 			return graphflySelective(w, algo.SSSP{Src: 0},
 				engine.Config{Workers: sc.Workers, Probe: p, ScatteredStorage: scattered})
@@ -227,10 +220,8 @@ func Fig13(sc Scale) Table {
 			return graphflyAccumulative(w, algo.NewPageRank(w.NumV),
 				engine.Config{Workers: sc.Workers, Probe: p, ScatteredStorage: scattered})
 		}, w)
-		t.Rows = append(t.Rows, []string{
-			code, ms(sWith), ms(sWo), ratio(sWith, sWo), sMiss,
-			ms(pWith), ms(pWo), ratio(pWith, pWo), pMiss,
-		})
+		t.AddRow(Str(code), Dur(sWith), Dur(sWo), Ratio(sWith, sWo), sMiss,
+			Dur(pWith), Dur(pWo), Ratio(pWith, pWo), pMiss)
 	}
 	return t
 }
@@ -250,21 +241,23 @@ func Fig14a(sc Scale) Table {
 	for _, del := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
 		w := workload("UK", s14, del, 0x14A)
 		cfg := engine.Config{Workers: sc.Workers}
-		gf, _ := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
-		ks, _ := runBatches(kickstarterEngine(w, algo.SSSP{Src: 0}, cfg), w)
+		gf, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
+		ks, _ := runBatches(sc, kickstarterEngine(w, algo.SSSP{Src: 0}, cfg), w)
 		n := time.Duration(len(w.Batches))
-		t.Rows = append(t.Rows, []string{pct(del), ms(gf / n), ms(ks / n)})
+		t.AddRow(Pct(del), Dur(gf/n), Dur(ks/n))
 	}
 	return t
 }
 
 // Fig14b reproduces Fig 14(b): execution time vs batch size (1M-10M in the
-// paper, scaled multiples here) for SSSP on UK with 30 % deletions.
+// paper, scaled multiples here) for SSSP on UK with 30 % deletions. The
+// per-update column is nanoseconds per applied update (earlier revisions
+// mislabeled the same number "ms/update x1e6").
 func Fig14b(sc Scale) Table {
 	t := Table{
 		ID:     "Fig 14b",
 		Title:  "SSSP on UK: execution time vs batch size (30% deletions)",
-		Header: []string{"BatchSize", "GraphFly ms", "ms/update x1e6"},
+		Header: []string{"BatchSize", "GraphFly ms", "ns/update"},
 	}
 	for _, mult := range []int{1, 2, 5, 10} {
 		s := sc
@@ -273,18 +266,16 @@ func Fig14b(sc Scale) Table {
 			s.Batches = 6
 		}
 		w := workload("UK", s, 0.3, 0x14B)
-		gf, _ := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, engine.Config{Workers: sc.Workers}), w)
+		gf, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, engine.Config{Workers: sc.Workers}), w)
 		updates := 0
 		for _, b := range w.Batches {
 			updates += len(b)
 		}
-		perUpdate := "-"
+		perUpdate := NA()
 		if updates > 0 {
-			perUpdate = fmt.Sprintf("%.3f", float64(gf.Microseconds())/float64(updates)*1000)
+			perUpdate = Float(float64(gf.Nanoseconds())/float64(updates), 3)
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", s.BatchSize), ms(gf), perUpdate,
-		})
+		t.AddRow(IntCell(s.BatchSize), Dur(gf), perUpdate)
 	}
 	return t
 }
@@ -306,12 +297,12 @@ func Fig15a(sc Scale) Table {
 		dflow.NewPartition(f, dflow.DefaultCap)
 		genTime := time.Since(t0)
 		_ = fb
-		inc, _ := runBatches(graphflyAccumulative(w, algo.NewPageRank(w.NumV), engine.Config{Workers: sc.Workers}), w)
-		share := "-"
+		inc, _ := runBatches(sc, graphflyAccumulative(w, algo.NewPageRank(w.NumV), engine.Config{Workers: sc.Workers}), w)
+		share := NA()
 		if inc > 0 {
-			share = pct(float64(genTime) / float64(inc+genTime))
+			share = Pct(float64(genTime) / float64(inc+genTime))
 		}
-		t.Rows = append(t.Rows, []string{code, ms(genTime), ms(inc), share})
+		t.AddRow(Str(code), Dur(genTime), Dur(inc), share)
 	}
 	return t
 }
@@ -330,13 +321,13 @@ func Fig15b(sc Scale) Table {
 		w := workload("UK", s, 0.1, 0x15B)
 		e := graphflyAccumulative(w, algo.NewPageRank(w.NumV), engine.Config{Workers: sc.Workers})
 		var apply, dtree, maintain time.Duration
-		for _, b := range w.Batches {
-			st := e.ProcessBatch(b)
+		_, stats := runBatches(sc, e, w)
+		for _, st := range stats {
 			apply += st.ApplyTime
 			dtree += st.DtreeTime
 			maintain += st.MaintainTime
 		}
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", s.BatchSize), ms(apply), ms(dtree), ms(maintain)})
+		t.AddRow(IntCell(s.BatchSize), Dur(apply), Dur(dtree), Dur(maintain))
 	}
 	return t
 }
@@ -367,11 +358,11 @@ func Fig16(sc Scale) Table {
 	// nodes (flows are the distribution granularity, §VI Data Management).
 	cfg := engine.Config{Workers: sc.Workers, TraceWork: true, FlowCap: 64}
 	ssspTrace := traceOf(func(w gen.Workload) []engine.BatchStats {
-		_, st := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
+		_, st := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
 		return st
 	}, w)
 	prTrace := traceOf(func(w gen.Workload) []engine.BatchStats {
-		_, st := runBatches(graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfg), w)
+		_, st := runBatches(sc, graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfg), w)
 		return st
 	}, w)
 
@@ -393,11 +384,7 @@ func Fig16(sc Scale) Table {
 	sssp := best(ssspTrace)
 	pr := best(prTrace)
 	for n := 1; n <= maxNodes; n *= 2 {
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.3f", sssp[n-1]/1e6),
-			fmt.Sprintf("%.3f", pr[n-1]/1e6),
-		})
+		t.AddRow(IntCell(n), Float(sssp[n-1]/1e6, 3), Float(pr[n-1]/1e6, 3))
 	}
 	return t
 }
@@ -424,26 +411,24 @@ func Fig17(sc Scale) Table {
 		return dist.MergeTraces(traces)
 	}
 	tCfg := engine.Config{Workers: sc.Workers, FlowCap: 256, TraceWork: true}
-	_, sStats := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, tCfg), w)
-	_, pStats := runBatches(graphflyAccumulative(w, algo.NewPageRank(w.NumV), tCfg), w)
+	_, sStats := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, tCfg), w)
+	_, pStats := runBatches(sc, graphflyAccumulative(w, algo.NewPageRank(w.NumV), tCfg), w)
 	ssspTrace, prTrace := traceOf(sStats), traceOf(pStats)
 
 	cm := dist.DefaultCostModel()
 	cm.EdgeOpNs = 400
-	simMs := func(tr *engine.WorkTrace, cores int) string {
+	simMs := func(tr *engine.WorkTrace, cores int) Cell {
 		m := cm
 		m.CoresPerNode = cores
 		pl := dist.Place(tr, 1, dist.LPT)
-		return fmt.Sprintf("%.3f", dist.Simulate(tr, pl, m, true).MakespanNs/1e6)
+		return Float(dist.Simulate(tr, pl, m, true).MakespanNs/1e6, 3)
 	}
 	for _, workers := range []int{1, 2, 4, 8, 16, 28} {
 		cfg := engine.Config{Workers: workers, FlowCap: 256}
-		s, _ := runBatches(graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
-		p, _ := runBatches(graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfg), w)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", workers), ms(s), ms(p),
-			simMs(ssspTrace, workers), simMs(prTrace, workers),
-		})
+		s, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
+		p, _ := runBatches(sc, graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfg), w)
+		t.AddRow(IntCell(workers), Dur(s), Dur(p),
+			simMs(ssspTrace, workers), simMs(prTrace, workers))
 	}
 	return t
 }

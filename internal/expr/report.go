@@ -1,0 +1,169 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/metrics"
+)
+
+// ReportSchemaVersion is bumped whenever BENCH_*.json changes
+// incompatibly; scripts/benchdiff refuses files from another version.
+const ReportSchemaVersion = 1
+
+// reportTool names the producer in every report.
+const reportTool = "graphfly-bench"
+
+// EnvInfo pins the environment a report was measured in, so diffs across
+// machines or Go versions are flagged instead of silently compared.
+type EnvInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentEnv captures the running process's environment.
+func CurrentEnv() EnvInfo {
+	return EnvInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Report is the machine-readable outcome of one bench run
+// (BENCH_graphfly.json): the typed figure tables plus the per-batch perf
+// trajectory of every engine run the figures performed.
+type Report struct {
+	SchemaVersion int     `json:"schema_version"`
+	Tool          string  `json:"tool"`
+	GitSHA        string  `json:"git_sha,omitempty"`
+	GeneratedAt   string  `json:"generated_at,omitempty"`
+	Env           EnvInfo `json:"env"`
+	Scale         Scale   `json:"scale"`
+	Figures       []Table `json:"figures"`
+
+	// Batches is the raw per-batch phase breakdown, in processing order.
+	Batches []metrics.BatchPoint `json:"batches,omitempty"`
+	// Phases summarizes each phase's duration distribution across all
+	// batches, keyed by metrics.PhaseNames.
+	Phases map[string]metrics.HistSnapshot `json:"phases,omitempty"`
+	// BatchLatency is the whole-batch (Total) distribution.
+	BatchLatency *metrics.HistSnapshot `json:"batch_latency,omitempty"`
+	// Metrics is the full registry dump (counters, gauges, histograms),
+	// including the cachesim feeds.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// BuildReport assembles a report from the scale (whose recorder, if any,
+// supplies the trajectory), the figure tables, and provenance strings.
+func BuildReport(sc Scale, figures []Table, gitSHA, generatedAt string) Report {
+	r := Report{
+		SchemaVersion: ReportSchemaVersion,
+		Tool:          reportTool,
+		GitSHA:        gitSHA,
+		GeneratedAt:   generatedAt,
+		Env:           CurrentEnv(),
+		Scale:         sc,
+		Figures:       figures,
+	}
+	if sc.Rec != nil {
+		r.Batches = sc.Rec.Points()
+		if reg := sc.Rec.Registry(); reg != nil {
+			phases, total := sc.Rec.PhaseSnapshots()
+			r.Phases = phases
+			r.BatchLatency = &total
+			snap := reg.Snapshot()
+			r.Metrics = &snap
+		}
+	}
+	return r
+}
+
+// Validate checks the structural invariants every consumer relies on.
+func (r Report) Validate() error {
+	if r.SchemaVersion != ReportSchemaVersion {
+		return fmt.Errorf("report: schema_version %d, want %d", r.SchemaVersion, ReportSchemaVersion)
+	}
+	if r.Tool != reportTool {
+		return fmt.Errorf("report: tool %q, want %q", r.Tool, reportTool)
+	}
+	if r.Env.GoVersion == "" || r.Env.GOOS == "" || r.Env.GOARCH == "" {
+		return fmt.Errorf("report: incomplete env %+v", r.Env)
+	}
+	if len(r.Figures) == 0 {
+		return fmt.Errorf("report: no figures")
+	}
+	for _, f := range r.Figures {
+		if f.ID == "" {
+			return fmt.Errorf("report: figure with empty id (title %q)", f.Title)
+		}
+		if len(f.Header) == 0 {
+			return fmt.Errorf("report: figure %s has no header", f.ID)
+		}
+		for i, row := range f.Cells {
+			if len(row) != len(f.Header) {
+				return fmt.Errorf("report: figure %s row %d has %d cells, header has %d",
+					f.ID, i, len(row), len(f.Header))
+			}
+			for j, c := range row {
+				if !c.Valid() {
+					return fmt.Errorf("report: figure %s row %d col %d: unknown cell kind %q",
+						f.ID, i, j, c.Kind)
+				}
+			}
+		}
+	}
+	for i, b := range r.Batches {
+		if b.TotalNs < 0 || b.Applied < 0 {
+			return fmt.Errorf("report: batch %d has negative total/applied (%d, %d)",
+				i, b.TotalNs, b.Applied)
+		}
+	}
+	for name, h := range r.Phases {
+		known := false
+		for _, p := range metrics.PhaseNames {
+			if p == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("report: unknown phase %q", name)
+		}
+		if h.Count != int64(len(r.Batches)) {
+			return fmt.Errorf("report: phase %q has %d samples, %d batches recorded",
+				name, h.Count, len(r.Batches))
+		}
+	}
+	return nil
+}
+
+// WriteReport marshals the report (indented, trailing newline) to path.
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads and parses a report written by WriteReport. It does
+// not validate; callers decide how strict to be.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

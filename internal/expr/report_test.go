@@ -1,0 +1,134 @@
+package expr
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestCellJSONRoundTrip(t *testing.T) {
+	cells := []Cell{
+		Str("LJ"), IntCell(42), Float(1.234, 3), Dur(1500 * time.Microsecond),
+		Pct(0.68), RatioF(5.81), NA(),
+	}
+	data, err := json.Marshal(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Cell
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(cells) {
+		t.Fatalf("round trip lost cells: %d -> %d", len(cells), len(back))
+	}
+	for i := range cells {
+		if back[i] != cells[i] {
+			t.Fatalf("cell %d changed: %+v -> %+v", i, cells[i], back[i])
+		}
+	}
+	// The duration cell must carry ns on the wire, not the rendered ms.
+	if !strings.Contains(string(data), `"ns":1500000`) {
+		t.Fatalf("duration cell missing ns value: %s", data)
+	}
+}
+
+func TestCellNumeric(t *testing.T) {
+	if v, ok := Dur(2 * time.Millisecond).Numeric(); !ok || v != 2 {
+		t.Fatalf("Dur numeric = %v,%v, want 2ms", v, ok)
+	}
+	if _, ok := Str("x").Numeric(); ok {
+		t.Fatal("string cell claims a numeric value")
+	}
+	if _, ok := NA().Numeric(); ok {
+		t.Fatal("NA cell claims a numeric value")
+	}
+}
+
+// TestReportBuildValidateRoundTrip runs a real (tiny) figure with a live
+// recorder and pushes the result through Build -> Write -> Read -> Validate.
+func TestReportBuildValidateRoundTrip(t *testing.T) {
+	sc := tiny()
+	sc.Rec = metrics.NewBatchRecorder(metrics.NewRegistry())
+	figs := []Table{Fig14b(sc)}
+	r := BuildReport(sc, figs, "deadbeef", "2026-01-01T00:00:00Z")
+	if err := r.Validate(); err != nil {
+		t.Fatalf("fresh report invalid: %v", err)
+	}
+	if len(r.Batches) == 0 {
+		t.Fatal("recorder captured no batches from Fig14b")
+	}
+	if r.BatchLatency == nil || r.BatchLatency.Count != int64(len(r.Batches)) {
+		t.Fatalf("batch latency histogram out of sync: %+v vs %d batches",
+			r.BatchLatency, len(r.Batches))
+	}
+	for _, name := range metrics.PhaseNames {
+		if _, ok := r.Phases[name]; !ok {
+			t.Fatalf("phase %q missing from report", name)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("re-read report invalid: %v", err)
+	}
+	if back.GitSHA != "deadbeef" || back.Tool != "graphfly-bench" {
+		t.Fatalf("provenance lost: %+v", back)
+	}
+	if len(back.Figures) != 1 || back.Figures[0].ID != figs[0].ID {
+		t.Fatalf("figures lost: %+v", back.Figures)
+	}
+	if len(back.Figures[0].Cells) != len(figs[0].Cells) {
+		t.Fatal("figure rows lost in round trip")
+	}
+}
+
+func TestReportValidateRejects(t *testing.T) {
+	sc := tiny()
+	good := BuildReport(sc, []Table{{ID: "F", Header: []string{"a"}, Cells: [][]Cell{{Str("x")}}}}, "", "")
+
+	bad := good
+	bad.SchemaVersion = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted wrong schema version")
+	}
+
+	bad = good
+	bad.Figures = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted empty figures")
+	}
+
+	bad = good
+	bad.Figures = []Table{{ID: "F", Header: []string{"a", "b"}, Cells: [][]Cell{{Str("x")}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted row/header width mismatch")
+	}
+
+	bad = good
+	bad.Figures = []Table{{ID: "F", Header: []string{"a"}, Cells: [][]Cell{{{Kind: "bogus"}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted unknown cell kind")
+	}
+}
+
+// TestRunBatchesNilRecorder pins the zero-overhead contract: a Scale with
+// no recorder must run figures without touching metrics at all.
+func TestRunBatchesNilRecorder(t *testing.T) {
+	sc := tiny() // Rec == nil
+	tab := Fig14b(sc)
+	if len(tab.Cells) == 0 {
+		t.Fatal("figure produced no rows without a recorder")
+	}
+}

@@ -1,0 +1,71 @@
+// Package prof wires Go's stdlib profilers behind three CLI flags
+// (-cpuprofile, -memprofile, -trace) shared by cmd/graphfly and
+// cmd/bench. All paths are optional; empty strings cost nothing.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins CPU profiling and/or execution tracing into the given
+// files (either may be empty) and returns a stop function that flushes
+// and closes them. The stop function is always non-nil and idempotent.
+func Start(cpuPath, tracePath string) (func(), error) {
+	var stops []func()
+	stop := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		stops = nil
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, fmt.Errorf("cpu profile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			stop()
+			return func() {}, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stop()
+			return func() {}, fmt.Errorf("trace: %w", err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	return stop, nil
+}
+
+// WriteHeap captures an up-to-date heap profile to path (no-op when path
+// is empty).
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // fold garbage into the live-heap picture
+	return pprof.Lookup("heap").WriteTo(f, 0)
+}

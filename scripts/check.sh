@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
-# Repo verification: build, vet, race-enabled tests, and a seeded chaos
-# smoke run of the fault-tolerant distributed runtime. Run from anywhere.
+# Repo verification: formatting, build, vet, race-enabled tests, a seeded
+# chaos smoke run of the fault-tolerant distributed runtime, and a bench
+# smoke that emits and schema-validates the machine-readable report. Run
+# from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build =="
 go build ./...
@@ -16,5 +26,12 @@ go test -race ./...
 echo "== chaos smoke (seeded fault injection, distributed SSSP) =="
 go run ./cmd/graphfly -algo SSSP -dataset TT -nEdges 2000 -numberOfUpdateBatches 3 \
     -nodes 4 -faults seed=7,drop=0.1,dup=0.05,delay=0.2,reorder=0.1,crash=0.01,maxcrashes=2,crashat=1:5:2
+
+echo "== bench smoke (machine-readable report + schema validation) =="
+benchtmp=$(mktemp -d)
+trap 'rm -rf "$benchtmp"' EXIT
+go run ./cmd/bench -json -fig 11 -edgecap 4000 -batch 300 -batches 2 \
+    -out "$benchtmp/BENCH_graphfly.json" > /dev/null
+go run ./scripts/benchdiff -check "$benchtmp/BENCH_graphfly.json"
 
 echo "OK"
