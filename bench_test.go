@@ -9,6 +9,7 @@ package graphfly
 // ns/op when interpreting results.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/expr"
@@ -71,5 +72,33 @@ func BenchmarkBatchPageRank(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.ProcessBatch(w.Batches[i%len(w.Batches)])
+	}
+}
+
+// BenchmarkSchedulerScaling compares steady-state per-batch SSSP cost
+// under both unit schedulers across worker counts. Sub-benchmark names are
+// stable so scripts/benchdiff can diff scheduler throughput between runs;
+// the p95 dispatch-wait companion numbers live in cmd/bench -fig s1.
+func BenchmarkSchedulerScaling(b *testing.B) {
+	numV, edges := Dataset("LJ")
+	w := NewWorkload(numV, edges, DefaultStream(2000, 200, 3))
+	scheds := []struct {
+		name string
+		kind SchedulerKind
+	}{
+		{"worksteal", SchedWorkStealing},
+		{"global", SchedGlobal},
+	}
+	for _, s := range scheds {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("sched=%s/workers=%d", s.name, workers), func(b *testing.B) {
+				g := FromEdges(w.NumV, w.Initial)
+				eng := NewSSSP(g, 0, Config{Workers: workers, Scheduler: s.kind})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.ProcessBatch(w.Batches[i%len(w.Batches)])
+				}
+			})
+		}
 	}
 }

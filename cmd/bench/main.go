@@ -23,19 +23,21 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/metrics"
 	"repro/internal/prof"
 )
 
 func main() {
-	fig := flag.String("fig", "", "table/figure id: table1, 4a, 4b, 11, 12, 13, 14a, 14b, 15a, 15b, 16, 17 (empty = all)")
+	fig := flag.String("fig", "", "table/figure id: table1, 4a, 4b, 11, 12, 13, 14a, 14b, 15a, 15b, 16, 17, s1 (empty = all)")
 	full := flag.Bool("full", false, "use the dataset presets instead of the quick scale")
 	ablations := flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
 	edgecap := flag.Int("edgecap", 0, "override the per-dataset edge cap")
 	batch := flag.Int("batch", 0, "override batch size")
 	batches := flag.Int("batches", 0, "override number of batches")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	sched := flag.String("sched", "", "unit scheduler: worksteal (default) or global")
 	faults := flag.String("faults", "", "extra fault schedule for the fault-sensitivity ablation (dist.ParseFaults syntax, e.g. seed=7,drop=0.1,crash=0.01)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable report next to the text output")
 	out := flag.String("out", "BENCH_graphfly.json", "report path for -json")
@@ -65,6 +67,12 @@ func main() {
 		sc.Batches = *batches
 	}
 	sc.Workers = *workers
+	if kind, ok := engine.ParseScheduler(*sched); ok {
+		sc.Scheduler = kind
+	} else {
+		fmt.Fprintf(os.Stderr, "bench: unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
 	if *faults != "" {
 		if _, err := dist.ParseFaults(*faults); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)

@@ -39,6 +39,7 @@ func main() {
 	seedsFile := flag.String("seedsFile", "", "LabelPropagation seeds file ('vertex label' per line)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	flowCap := flag.Int("flowCap", 0, "dependency-flow size cap (0 = default)")
+	sched := flag.String("sched", "", "unit scheduler: worksteal (default) or global")
 	seed := flag.Uint64("seed", 42, "stream sampling seed")
 	outputFile := flag.String("outputFile", "", "write the converged values here ('-' = stdout)")
 	graphPath := flag.String("graphPath", "", "load the initial graph from an edge-tuple file instead of generating it")
@@ -106,7 +107,12 @@ func main() {
 			Seed:            *seed,
 		})
 	}
-	eCfg := engine.Config{Workers: *workers, FlowCap: *flowCap}
+	schedKind, ok := engine.ParseScheduler(*sched)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "graphfly: unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+	eCfg := engine.Config{Workers: *workers, FlowCap: *flowCap, Scheduler: schedKind}
 	var reg *metrics.Registry
 	if *showMetrics {
 		reg = metrics.NewRegistry()

@@ -57,7 +57,7 @@ type Accumulative struct {
 	unitOf  []int32
 	inboxes []inbox[[]uint32]
 	seeds   [][]uint32 // per-flow seed vertices for the current batch
-	pl      *pool
+	pl      scheduler
 
 	pushes    atomic.Int64
 	crossMsgs atomic.Int64
@@ -299,6 +299,10 @@ func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 	st.ComputeTime = time.Since(tComp)
 	st.Relaxations = e.pushes.Load()
 	st.CrossMsgs = e.crossMsgs.Load()
+	ss := e.pl.stats()
+	st.Dispatches = ss.Dispatches
+	st.Steals = ss.Steals
+	st.SchedParks = ss.Parks
 	st.Total = time.Since(t0)
 	e.cfg.observe(&st)
 	return st
@@ -347,9 +351,9 @@ func (e *Accumulative) converge(impacted map[int32]bool) (int, int) {
 	}
 	e.inboxes = e.inboxes[:nf]
 	for i := range e.inboxes {
-		e.inboxes[i].msgs = e.inboxes[i].msgs[:0]
+		e.inboxes[i].reset()
 	}
-	e.pl = newPool()
+	e.pl = e.cfg.newScheduler()
 	e.pushes.Store(0)
 	e.crossMsgs.Store(0)
 

@@ -27,6 +27,11 @@ import (
 type Config struct {
 	// Workers is the number of worker goroutines (GOMAXPROCS if <= 0).
 	Workers int
+	// Scheduler selects the unit scheduler: the work-stealing, level-banded
+	// scheduler by default (SchedWorkStealing is the zero value), or the
+	// reference global-lock pool (SchedGlobal) for conformance testing and
+	// the scaling ablation.
+	Scheduler SchedulerKind
 	// FlowCap caps dependency-flow size (dflow.DefaultCap if <= 0).
 	FlowCap int
 	// Probe receives instrumented memory accesses (cachesim.Nop if nil).
@@ -90,6 +95,9 @@ type BatchStats struct {
 	CrossMsgs    int64
 	Relaxations  int64 // edge relaxations / delta pushes
 	Pulls        int64 // refinement pulls
+	Dispatches   int64 // scheduling units handed to workers
+	Steals       int64 // dispatches served from another worker's deque
+	SchedParks   int64 // scheduler idle waits during compute
 	ApplyTime    time.Duration
 	MaintainTime time.Duration // D-tree + flow index maintenance (total)
 	DtreeTime    time.Duration // D-tree incremental maintenance only

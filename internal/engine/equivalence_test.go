@@ -44,6 +44,7 @@ func randomConfig(seed uint64) Config {
 		NoSCCMerge:       r.Float64() < 0.25,
 		ScatteredStorage: r.Float64() < 0.25,
 		RepartitionEvery: 1 + r.Intn(4),
+		Scheduler:        SchedulerKind(r.Intn(2)),
 	}
 }
 

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// inbox is a per-flow mailbox. Senders scatter across shards (round-robin,
+// one atomic add to pick) so concurrent cross-flow pushes to a hot flow do
+// not serialize on one mutex; the owning unit drains all shards during
+// processing, and each shard drain is a single slice swap under the shard
+// lock rather than a per-message copy.
+//
+// A flow has at most one runner at a time (the unit state machine
+// guarantees it), so drain and reset never race with themselves — only
+// put is called concurrently.
+
+const (
+	// inboxShards must be a power of two (the round-robin pick masks).
+	inboxShards = 4
+	// inboxTrimCap bounds the backing capacity an inbox retains across
+	// drains. Without it, one burst of cross-flow messages permanently
+	// pins its high-water-mark array on every flow it touched; buffers
+	// beyond the cap are dropped for the allocator to reclaim.
+	inboxTrimCap = 1024
+)
+
+type inboxShard[T any] struct {
+	mu   sync.Mutex
+	msgs []T
+	// spare is the previously drained buffer, kept for reuse. Only the
+	// drainer touches it.
+	spare []T
+}
+
+type inbox[T any] struct {
+	rr     atomic.Uint32
+	shards [inboxShards]inboxShard[T]
+}
+
+func (b *inbox[T]) put(m T) {
+	s := &b.shards[b.rr.Add(1)&(inboxShards-1)]
+	s.mu.Lock()
+	s.msgs = append(s.msgs, m)
+	s.mu.Unlock()
+}
+
+// drain moves every pending message into buf (reusing its capacity) and
+// returns it. Message order across shards is arbitrary; all inbox payloads
+// are commutative (monotonic candidate merges, dirty-vertex batches).
+func (b *inbox[T]) drain(buf []T) []T {
+	var zero T
+	buf = buf[:0]
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		taken := s.msgs
+		s.msgs = s.spare[:0] // the swap: senders now fill the spare buffer
+		s.mu.Unlock()
+		buf = append(buf, taken...)
+		if cap(taken) > inboxTrimCap {
+			taken = nil // capacity decay after a burst
+		}
+		for j := range taken {
+			taken[j] = zero // release payload references (e.g. batch slices)
+		}
+		s.spare = taken[:0]
+	}
+	return buf
+}
+
+// empty reports whether any shard holds a message.
+func (b *inbox[T]) empty() bool {
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		n := len(s.msgs)
+		s.mu.Unlock()
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reset clears the inbox between batches, applying the same capacity decay
+// as drain. The manager calls it while no unit is running.
+func (b *inbox[T]) reset() {
+	var zero T
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		for _, buf := range [][]T{s.msgs, s.spare} {
+			for j := range buf {
+				buf[j] = zero
+			}
+		}
+		if cap(s.msgs) > inboxTrimCap {
+			s.msgs = nil
+		}
+		if cap(s.spare) > inboxTrimCap {
+			s.spare = nil
+		}
+		s.msgs = s.msgs[:0]
+		s.spare = s.spare[:0]
+		s.mu.Unlock()
+	}
+}
+
+// capSum reports the total retained backing capacity, for the
+// capacity-decay regression test.
+func (b *inbox[T]) capSum() int {
+	total := 0
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		total += cap(s.msgs) + cap(s.spare)
+		s.mu.Unlock()
+	}
+	return total
+}

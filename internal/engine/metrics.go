@@ -36,6 +36,9 @@ func (c Config) observe(st *BatchStats) {
 	r.Counter("compute.relaxations").Add(st.Relaxations)
 	r.Counter("compute.pulls").Add(st.Pulls)
 	r.Counter("compute.cross_msgs").Add(st.CrossMsgs)
+	r.Counter("sched.dispatches").Add(st.Dispatches)
+	r.Counter("sched.steals").Add(st.Steals)
+	r.Counter("sched.parks").Add(st.SchedParks)
 	r.Gauge("schedule.levels").Set(float64(st.Levels))
 	r.Gauge("schedule.impacted_flows").Set(float64(st.Impacted))
 }

@@ -4,13 +4,19 @@ import (
 	"container/heap"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
-// The pool runs scheduling units (single flows or merged cyclic groups)
-// with level-priority ordering and quiescence detection: workers prefer
-// units from earlier schedule levels (the space-time order), units
-// re-activated by incoming cross-flow messages are re-queued, and the pool
-// returns when no unit is queued, running, or pending.
+// The global pool is the reference scheduler implementation (see sched.go):
+// it runs scheduling units with level-priority ordering and quiescence
+// detection behind one mutex + condvar heap. Workers prefer units from
+// earlier schedule levels (the space-time order), units re-activated by
+// incoming cross-flow messages are re-queued, and the pool returns when no
+// unit is queued, running, or pending. Every dispatch serializes on the one
+// lock, which is why the work-stealing scheduler replaced it as the
+// default; it stays as the conformance oracle and the scaling baseline.
 //
 // Correctness never depends on the priority order (the trimmed-bit and
 // delta-push protocols tolerate any interleaving); the order is the paper's
@@ -30,6 +36,10 @@ type unit struct {
 	level int
 	seq   int64 // FIFO tie-break within a level
 	state atomic.Int32
+
+	// enqueuedNs is the activation timestamp feeding the dispatch-wait
+	// histogram; written and read under the owning queue's lock.
+	enqueuedNs int64
 
 	// carry holds worklist items preserved across activations when the
 	// unit yields mid-convergence (bounded rounds per activation). Only the
@@ -63,10 +73,16 @@ type pool struct {
 	queue       unitHeap
 	outstanding int // units not idle
 	seq         int64
+
+	dispatches int64
+	parks      int64
+	waitHist   *metrics.Histogram
 }
 
-func newPool() *pool {
-	p := &pool{}
+// newPool returns the reference scheduler. waitHist, when non-nil,
+// receives activation-to-dispatch latencies.
+func newPool(waitHist *metrics.Histogram) *pool {
+	p := &pool{waitHist: waitHist}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -81,6 +97,9 @@ func (p *pool) activate(u *unit) {
 				p.mu.Lock()
 				p.seq++
 				u.seq = p.seq
+				if p.waitHist != nil {
+					u.enqueuedNs = time.Now().UnixNano()
+				}
 				heap.Push(&p.queue, u)
 				p.outstanding++
 				p.mu.Unlock()
@@ -110,6 +129,7 @@ func (p *pool) run(workers int, fn func(w int, u *unit)) {
 			for {
 				p.mu.Lock()
 				for len(p.queue) == 0 && p.outstanding > 0 {
+					p.parks++
 					p.cond.Wait()
 				}
 				if len(p.queue) == 0 {
@@ -119,6 +139,10 @@ func (p *pool) run(workers int, fn func(w int, u *unit)) {
 					return
 				}
 				u := heap.Pop(&p.queue).(*unit)
+				p.dispatches++
+				if p.waitHist != nil {
+					p.waitHist.Observe(time.Now().UnixNano() - u.enqueuedNs)
+				}
 				p.mu.Unlock()
 
 				u.state.Store(unitRunning)
@@ -141,6 +165,9 @@ func (p *pool) run(workers int, fn func(w int, u *unit)) {
 				p.mu.Lock()
 				p.seq++
 				u.seq = p.seq
+				if p.waitHist != nil {
+					u.enqueuedNs = time.Now().UnixNano()
+				}
 				heap.Push(&p.queue, u)
 				p.mu.Unlock()
 				p.cond.Signal()
@@ -150,30 +177,8 @@ func (p *pool) run(workers int, fn func(w int, u *unit)) {
 	wg.Wait()
 }
 
-// inbox is a per-flow mailbox. Senders append under the lock; the owning
-// unit drains it during processing.
-type inbox[T any] struct {
-	mu   sync.Mutex
-	msgs []T
-}
-
-func (b *inbox[T]) put(m T) {
-	b.mu.Lock()
-	b.msgs = append(b.msgs, m)
-	b.mu.Unlock()
-}
-
-func (b *inbox[T]) drain(buf []T) []T {
-	b.mu.Lock()
-	buf = append(buf[:0], b.msgs...)
-	b.msgs = b.msgs[:0]
-	b.mu.Unlock()
-	return buf
-}
-
-func (b *inbox[T]) empty() bool {
-	b.mu.Lock()
-	e := len(b.msgs) == 0
-	b.mu.Unlock()
-	return e
+func (p *pool) stats() schedStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return schedStats{Dispatches: p.dispatches, Parks: p.parks}
 }

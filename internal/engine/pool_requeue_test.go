@@ -14,7 +14,7 @@ import (
 // pending coalesces them — and a message arriving after the unit went
 // idle must queue a fresh run.
 func TestPoolPendingRequeueExactlyOnce(t *testing.T) {
-	p := newPool()
+	p := newPool(nil)
 	u := &unit{id: 0}
 	var runs atomic.Int64
 	inRun := make(chan struct{})
@@ -44,7 +44,7 @@ func TestPoolPendingRequeueExactlyOnce(t *testing.T) {
 	}
 
 	// After quiescence the unit is idle: a new activation runs it again.
-	p2 := newPool()
+	p2 := newPool(nil)
 	p2.activate(u)
 	var again atomic.Int64
 	p2.run(1, func(int, *unit) { again.Add(1) })
@@ -64,7 +64,7 @@ func TestPoolMidRunMessageNeverLost(t *testing.T) {
 	const producers = 4
 	const perProducer = 2000
 
-	p := newPool()
+	p := newPool(nil)
 	var mail inbox[int]
 	u := &unit{id: 0}
 	var consumed atomic.Int64
@@ -121,7 +121,7 @@ func TestPoolMidRunMessageNeverLost(t *testing.T) {
 // must see each unit at most once, or priority ordering and outstanding
 // accounting both break).
 func TestPoolPendingWhileQueuedCoalesces(t *testing.T) {
-	p := newPool()
+	p := newPool(nil)
 	var runsA, runsB atomic.Int64
 	a := &unit{id: 0, level: 0}
 	b := &unit{id: 1, level: 1}

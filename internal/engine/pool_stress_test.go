@@ -27,7 +27,7 @@ func TestPoolStressCrossActivation(t *testing.T) {
 	tokens := make([]atomic.Int64, numUnits)
 	var injected, consumed atomic.Int64
 
-	p := newPool()
+	p := newPool(nil)
 	fn := func(_ int, u *unit) {
 		n := tokens[u.id].Swap(0)
 		if n == 0 {

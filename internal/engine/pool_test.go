@@ -7,7 +7,7 @@ import (
 )
 
 func TestPoolRunsEveryActivatedUnit(t *testing.T) {
-	p := newPool()
+	p := newPool(nil)
 	var processed atomic.Int64
 	units := make([]*unit, 100)
 	for i := range units {
@@ -28,7 +28,7 @@ func TestPoolRunsEveryActivatedUnit(t *testing.T) {
 }
 
 func TestPoolDoubleActivationRunsOnce(t *testing.T) {
-	p := newPool()
+	p := newPool(nil)
 	u := &unit{id: 0}
 	p.activate(u)
 	p.activate(u) // queued: second activation is a no-op
@@ -41,7 +41,7 @@ func TestPoolDoubleActivationRunsOnce(t *testing.T) {
 
 func TestPoolPendingReruns(t *testing.T) {
 	// A unit activated while running must run again.
-	p := newPool()
+	p := newPool(nil)
 	u := &unit{id: 0}
 	var runs atomic.Int64
 	p.activate(u)
@@ -58,7 +58,7 @@ func TestPoolPendingReruns(t *testing.T) {
 func TestPoolCascadingActivation(t *testing.T) {
 	// Units activate each other in a chain; the pool must stay live until
 	// the whole cascade drains.
-	p := newPool()
+	p := newPool(nil)
 	const n = 50
 	units := make([]*unit, n)
 	for i := range units {
@@ -82,7 +82,7 @@ func TestPoolCascadingActivation(t *testing.T) {
 
 func TestPoolLevelPriority(t *testing.T) {
 	// With one worker, queued units must come out in level order.
-	p := newPool()
+	p := newPool(nil)
 	levels := []int{3, 1, 2, 0, 1}
 	for i, l := range levels {
 		p.activate(&unit{id: int32(i), level: l})
@@ -97,56 +97,13 @@ func TestPoolLevelPriority(t *testing.T) {
 }
 
 func TestPoolEmptyRunReturns(t *testing.T) {
-	p := newPool()
+	p := newPool(nil)
 	done := make(chan struct{})
 	go func() {
 		p.run(4, func(int, *unit) { t.Error("nothing should run") })
 		close(done)
 	}()
 	<-done
-}
-
-func TestInboxPutDrain(t *testing.T) {
-	var b inbox[int]
-	if !b.empty() {
-		t.Fatal("fresh inbox not empty")
-	}
-	b.put(1)
-	b.put(2)
-	if b.empty() {
-		t.Fatal("inbox with messages reported empty")
-	}
-	got := b.drain(nil)
-	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
-		t.Fatalf("drain = %v", got)
-	}
-	if !b.empty() {
-		t.Fatal("drain did not clear the inbox")
-	}
-	// Buffer reuse.
-	b.put(3)
-	got = b.drain(got)
-	if len(got) != 1 || got[0] != 3 {
-		t.Fatalf("second drain = %v", got)
-	}
-}
-
-func TestInboxConcurrentPut(t *testing.T) {
-	var b inbox[int]
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				b.put(i)
-			}
-		}()
-	}
-	wg.Wait()
-	if got := b.drain(nil); len(got) != 800 {
-		t.Fatalf("drained %d messages, want 800", len(got))
-	}
 }
 
 func TestFlags(t *testing.T) {

@@ -1,0 +1,79 @@
+package engine
+
+import "repro/internal/metrics"
+
+// scheduler runs scheduling units (single flows or merged cyclic groups) to
+// global quiescence. Both implementations share the unit state machine
+// (idle/queued/running/pending) declared in pool.go: activate is safe from
+// any goroutine — including workers mid-unit and external producers — and
+// run returns only when no unit is queued, running, or pending.
+//
+// Correctness never depends on dispatch order (the trimmed-bit and
+// delta-push protocols tolerate any interleaving); level preference is the
+// paper's space-time cache-efficiency lever, a heuristic only.
+type scheduler interface {
+	activate(u *unit)
+	run(workers int, fn func(w int, u *unit))
+	stats() schedStats
+}
+
+// schedStats are one run's scheduling counters, exported through
+// BatchStats and internal/metrics for the scaling experiments.
+type schedStats struct {
+	Dispatches int64 // units handed to workers
+	Steals     int64 // dispatches served from another worker's deque
+	Parks      int64 // idle waits (condvar waits or backoff sleeps)
+}
+
+// SchedulerKind selects the unit scheduler implementation.
+type SchedulerKind int
+
+const (
+	// SchedWorkStealing is the default scheduler: per-worker deques banded
+	// by schedule level, lock-free unit handoff through the atomic state
+	// machine, and atomic-counter quiescence detection. Owners pop their
+	// lowest-level local unit; idle workers steal from the most loaded
+	// victim, preferring earlier levels.
+	SchedWorkStealing SchedulerKind = iota
+	// SchedGlobal is the reference implementation retained for conformance
+	// testing and ablation: a single mutex-protected level heap with
+	// condvar wakeups. It serializes every dispatch, so it stops scaling
+	// past a few workers.
+	SchedGlobal
+)
+
+// String names the kind for CLI flags and experiment tables.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedWorkStealing:
+		return "worksteal"
+	case SchedGlobal:
+		return "global"
+	}
+	return "unknown"
+}
+
+// ParseScheduler maps a CLI name to a SchedulerKind.
+func ParseScheduler(s string) (SchedulerKind, bool) {
+	switch s {
+	case "worksteal", "ws", "":
+		return SchedWorkStealing, true
+	case "global", "pool":
+		return SchedGlobal, true
+	}
+	return SchedWorkStealing, false
+}
+
+// newScheduler builds the configured scheduler for one batch. When metrics
+// are enabled the scheduler feeds the dispatch-wait histogram (time from
+// activation to dispatch) directly into the registry.
+func (c Config) newScheduler() scheduler {
+	var h *metrics.Histogram
+	if c.Metrics != nil {
+		h = c.Metrics.Histogram("sched.dispatch_wait_ns")
+	}
+	if c.Scheduler == SchedGlobal {
+		return newPool(h)
+	}
+	return newWSPool(c.workers(), h)
+}

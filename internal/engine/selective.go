@@ -50,7 +50,7 @@ type Selective struct {
 	unitOf   []int32 // flow -> unit index (atomic access)
 	inboxes  []inbox[selMsg]
 	trimList [][]uint32 // per-flow trim lists
-	pl       *pool
+	pl       scheduler
 
 	relaxations atomic.Int64
 	pulls       atomic.Int64
@@ -278,9 +278,9 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	}
 	e.inboxes = e.inboxes[:nf]
 	for i := range e.inboxes {
-		e.inboxes[i].msgs = e.inboxes[i].msgs[:0]
+		e.inboxes[i].reset()
 	}
-	e.pl = newPool()
+	e.pl = e.cfg.newScheduler()
 	st.ScheduleTime = time.Since(tSched)
 
 	// (5) Seed addition relaxations as messages (no refinement needed:
@@ -314,6 +314,10 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	st.Relaxations = e.relaxations.Load()
 	st.Pulls = e.pulls.Load()
 	st.CrossMsgs = e.crossMsgs.Load()
+	ss := e.pl.stats()
+	st.Dispatches = ss.Dispatches
+	st.Steals = ss.Steals
+	st.SchedParks = ss.Parks
 	st.Total = time.Since(t0)
 	e.cfg.observe(&st)
 	return st

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// wsPool is the work-stealing scheduler: one shard (a set of level-banded
+// FIFO deques) per worker, units assigned to a home shard by hashing their
+// id. A worker pops the lowest-banded unit of its own shard; when the shard
+// is dry it steals from the most loaded victim, again preferring earlier
+// bands, so the space-time order survives as a heuristic without any global
+// ordering structure. Handoff is the same atomic unit state machine the
+// global pool uses, and quiescence is a single atomic counter of non-idle
+// units — no mutex or condvar is shared across workers on the dispatch
+// path, which is what lets throughput scale with the worker count.
+
+// wsBands is the number of level bands per shard; schedule levels at or
+// beyond the last band share it. Eight bands cover the schedule depths seen
+// in practice (BatchStats.Levels rarely exceeds a handful).
+const wsBands = 8
+
+func bandOf(level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= wsBands {
+		return wsBands - 1
+	}
+	return level
+}
+
+// wsDeque is a FIFO of units: append at the tail, pop at the head. The head
+// index creeps forward and the buffer compacts once the dead prefix
+// dominates, keeping pops O(1) without unbounded growth.
+type wsDeque struct {
+	head  int
+	items []*unit
+}
+
+func (d *wsDeque) push(u *unit) { d.items = append(d.items, u) }
+
+func (d *wsDeque) pop() *unit {
+	if d.head >= len(d.items) {
+		return nil
+	}
+	u := d.items[d.head]
+	d.items[d.head] = nil
+	d.head++
+	if d.head == len(d.items) {
+		d.items = d.items[:0]
+		d.head = 0
+	} else if d.head > 64 && d.head*2 > len(d.items) {
+		n := copy(d.items, d.items[d.head:])
+		for i := n; i < len(d.items); i++ {
+			d.items[i] = nil
+		}
+		d.items = d.items[:n]
+		d.head = 0
+	}
+	return u
+}
+
+// wsShard is one worker's run queue. size is maintained under mu but read
+// without it by thieves choosing a victim; a stale read only misdirects a
+// steal attempt, never loses work (termination rests on wsPool.outstanding,
+// not on size).
+type wsShard struct {
+	mu    sync.Mutex
+	bands [wsBands]wsDeque
+	size  atomic.Int64
+}
+
+// popLowest removes the unit from the earliest non-empty band.
+func (s *wsShard) popLowest() *unit {
+	if s.size.Load() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	for b := range s.bands {
+		if u := s.bands[b].pop(); u != nil {
+			s.size.Add(-1)
+			s.mu.Unlock()
+			return u
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+type wsPool struct {
+	shards []wsShard
+	// outstanding counts units not idle (queued + running + pending): the
+	// quiescence condition is outstanding == 0, replacing the global pool's
+	// condvar broadcast.
+	outstanding atomic.Int64
+
+	dispatches atomic.Int64
+	steals     atomic.Int64
+	parks      atomic.Int64
+	waitHist   *metrics.Histogram
+}
+
+// newWSPool sizes the pool for the given worker count (one shard each).
+// waitHist, when non-nil, receives activation-to-dispatch latencies.
+func newWSPool(workers int, waitHist *metrics.Histogram) *wsPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &wsPool{shards: make([]wsShard, workers), waitHist: waitHist}
+}
+
+// homeShard hashes a unit to its owning shard, spreading flows evenly so
+// external activations (the manager seeding a batch, cross-flow messages)
+// distribute load without knowing which goroutine sent them.
+func (p *wsPool) homeShard(u *unit) *wsShard {
+	return &p.shards[rng.Mix64(uint64(uint32(u.id)))%uint64(len(p.shards))]
+}
+
+func (p *wsPool) push(u *unit) {
+	s := p.homeShard(u)
+	s.mu.Lock()
+	if p.waitHist != nil {
+		u.enqueuedNs = time.Now().UnixNano()
+	}
+	s.bands[bandOf(u.level)].push(u)
+	s.size.Add(1)
+	s.mu.Unlock()
+}
+
+// activate queues u if idle, or flags it pending if running: the same
+// lock-free handoff protocol as the global pool. Safe from any goroutine.
+func (p *wsPool) activate(u *unit) {
+	for {
+		switch s := u.state.Load(); s {
+		case unitIdle:
+			if u.state.CompareAndSwap(unitIdle, unitQueued) {
+				p.outstanding.Add(1)
+				p.push(u)
+				return
+			}
+		case unitQueued, unitPending:
+			return
+		case unitRunning:
+			if u.state.CompareAndSwap(unitRunning, unitPending) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next finds the next unit for worker w: own shard first (lowest band),
+// then a steal from the most loaded victim, then a full sweep in case the
+// size hints were stale. Returns nil when no queued unit was found.
+func (p *wsPool) next(w int) *unit {
+	home := w % len(p.shards)
+	if u := p.shards[home].popLowest(); u != nil {
+		p.dispatched(u, false)
+		return u
+	}
+	best, bestLoad := -1, int64(0)
+	for i := range p.shards {
+		if i == home {
+			continue
+		}
+		if l := p.shards[i].size.Load(); l > bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if best >= 0 {
+		if u := p.shards[best].popLowest(); u != nil {
+			p.dispatched(u, true)
+			return u
+		}
+	}
+	for i := range p.shards {
+		if i == home || i == best {
+			continue
+		}
+		if u := p.shards[i].popLowest(); u != nil {
+			p.dispatched(u, true)
+			return u
+		}
+	}
+	return nil
+}
+
+func (p *wsPool) dispatched(u *unit, stolen bool) {
+	p.dispatches.Add(1)
+	if stolen {
+		p.steals.Add(1)
+	}
+	if p.waitHist != nil {
+		p.waitHist.Observe(time.Now().UnixNano() - u.enqueuedNs)
+	}
+}
+
+// backoff yields the processor while the pool is busy elsewhere: a few
+// Gosched rounds, then short sleeps capped at 100µs so a worker blocked on
+// a long-running sibling unit does not burn its core.
+func (p *wsPool) backoff(spins *int) {
+	*spins++
+	if *spins <= 8 {
+		runtime.Gosched()
+		return
+	}
+	p.parks.Add(1)
+	d := time.Duration(1) << uint(min(*spins-8, 6)) * time.Microsecond
+	time.Sleep(min(d, 100*time.Microsecond))
+}
+
+// run processes units with the given number of workers until quiescent.
+// fn must process one unit completely (drain its inboxes and worklists).
+func (p *wsPool) run(workers int, fn func(w int, u *unit)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			spins := 0
+			for {
+				u := p.next(w)
+				if u == nil {
+					if p.outstanding.Load() == 0 {
+						return // globally quiescent
+					}
+					p.backoff(&spins)
+					continue
+				}
+				spins = 0
+				u.state.Store(unitRunning)
+				fn(w, u)
+				// Close out; re-queue if messages arrived while running.
+				if u.state.CompareAndSwap(unitRunning, unitIdle) {
+					p.outstanding.Add(-1)
+					continue
+				}
+				u.state.Store(unitQueued)
+				p.push(u)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (p *wsPool) stats() schedStats {
+	return schedStats{
+		Dispatches: p.dispatches.Load(),
+		Steals:     p.steals.Load(),
+		Parks:      p.parks.Load(),
+	}
+}

@@ -35,6 +35,10 @@ type Scale struct {
 	// Faults optionally adds a custom schedule (dist.ParseFaults syntax)
 	// to the fault-sensitivity ablation.
 	Faults string `json:"faults,omitempty"`
+	// Scheduler selects the engine's unit scheduler for every figure
+	// (work-stealing by default; the global pool for A/B runs). Fig S1
+	// sweeps both regardless of this setting.
+	Scheduler engine.SchedulerKind `json:"scheduler,omitempty"`
 	// Rec, when non-nil, collects every batch the figure runners process
 	// into the machine-readable perf trajectory (cmd/bench -json). Nil
 	// costs one pointer comparison per batch, like engine.Config.Metrics.

@@ -1,0 +1,51 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+// FigS1 is this reproduction's scheduler ablation (no paper counterpart):
+// worker scaling of the work-stealing scheduler against the global-lock
+// reference pool on SSSP and PageRank over LJ. Each cell runs with its own
+// registry so the scheduler counters (dispatches, steals, parks) and the
+// p95 dispatch-wait are per-configuration; scripts/benchdiff can diff the
+// throughput columns across reports. When the scale carries a recorder,
+// the counters are also mirrored into the report registry under
+// sched.figS1.* so they land in BENCH_graphfly.json.
+func FigS1(sc Scale) Table {
+	t := Table{
+		ID:    "Fig S1",
+		Title: "Scheduler worker scaling (work-stealing vs global pool)",
+		Header: []string{"Workers", "Scheduler", "SSSP ms", "PR ms",
+			"Dispatches", "Steals", "Parks", "p95 wait us"},
+	}
+	w := workload("LJ", sc, 0.1, 0x51)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, kind := range []engine.SchedulerKind{engine.SchedWorkStealing, engine.SchedGlobal} {
+			reg := metrics.NewRegistry()
+			cfg := engine.Config{Workers: workers, Scheduler: kind, Metrics: reg}
+			s, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
+			p, _ := runBatches(sc, graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfg), w)
+
+			dispatches := reg.Counter("sched.dispatches").Value()
+			steals := reg.Counter("sched.steals").Value()
+			parks := reg.Counter("sched.parks").Value()
+			wait := reg.Histogram("sched.dispatch_wait_ns")
+			if rep := sc.registry(); rep != nil {
+				pre := fmt.Sprintf("sched.figS1.%s.w%d.", kind, workers)
+				rep.Counter(pre + "dispatches").Add(dispatches)
+				rep.Counter(pre + "steals").Add(steals)
+				rep.Counter(pre + "parks").Add(parks)
+				rep.Gauge(pre + "p95_wait_ns").Set(float64(wait.Quantile(0.95)))
+			}
+			t.AddRow(IntCell(workers), Str(kind.String()), Dur(s), Dur(p),
+				Int64(dispatches), Int64(steals), Int64(parks),
+				Float(float64(wait.Quantile(0.95))/1e3, 1))
+		}
+	}
+	return t
+}
