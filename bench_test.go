@@ -102,3 +102,28 @@ func BenchmarkSchedulerScaling(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchAllocs measures steady-state per-batch heap allocations of
+// the GraphFly engine with the dense batch path on (default) and off
+// (the -denseoff ablation). CC symmetrizes every batch, so the loop
+// exercises the retained Symmetrizer alongside the impacted-flow set,
+// flow-graph CSR, and hub-index machinery; scripts/benchdiff -allocgate
+// watches the same quantity in BENCH_graphfly.json.
+func BenchmarkBatchAllocs(b *testing.B) {
+	numV, edges := Dataset("LJ")
+	w := NewWorkload(numV, edges, DefaultStream(2000, 200, 4))
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"dense", false}, {"denseoff", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			g := FromEdges(w.NumV, SymmetrizeEdges(w.Initial))
+			eng := NewCC(g, Config{DenseOff: mode.off})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ProcessBatch(w.Batches[i%len(w.Batches)])
+			}
+		})
+	}
+}

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "table/figure id: table1, 4a, 4b, 11, 12, 13, 14a, 14b, 15a, 15b, 16, 17, s1 (empty = all)")
+	fig := flag.String("fig", "", "table/figure id: table1, 4a, 4b, 11, 12, 13, 14a, 14b, 15a, 15b, 16, 17, s1, s2 (empty = all)")
 	full := flag.Bool("full", false, "use the dataset presets instead of the quick scale")
 	ablations := flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
 	edgecap := flag.Int("edgecap", 0, "override the per-dataset edge cap")
@@ -38,6 +38,7 @@ func main() {
 	batches := flag.Int("batches", 0, "override number of batches")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	sched := flag.String("sched", "", "unit scheduler: worksteal (default) or global")
+	denseoff := flag.Bool("denseoff", false, "memory-discipline ablation: disable the hub adjacency index and per-batch scratch reuse (Fig S2 \"before\")")
 	faults := flag.String("faults", "", "extra fault schedule for the fault-sensitivity ablation (dist.ParseFaults syntax, e.g. seed=7,drop=0.1,crash=0.01)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable report next to the text output")
 	out := flag.String("out", "BENCH_graphfly.json", "report path for -json")
@@ -73,6 +74,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench: unknown scheduler %q\n", *sched)
 		os.Exit(2)
 	}
+	sc.DenseOff = *denseoff
 	if *faults != "" {
 		if _, err := dist.ParseFaults(*faults); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)

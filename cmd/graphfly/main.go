@@ -40,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	flowCap := flag.Int("flowCap", 0, "dependency-flow size cap (0 = default)")
 	sched := flag.String("sched", "", "unit scheduler: worksteal (default) or global")
+	denseoff := flag.Bool("denseoff", false, "memory-discipline ablation: disable the hub adjacency index and per-batch scratch reuse")
 	seed := flag.Uint64("seed", 42, "stream sampling seed")
 	outputFile := flag.String("outputFile", "", "write the converged values here ('-' = stdout)")
 	graphPath := flag.String("graphPath", "", "load the initial graph from an edge-tuple file instead of generating it")
@@ -112,7 +113,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphfly: unknown scheduler %q\n", *sched)
 		os.Exit(2)
 	}
-	eCfg := engine.Config{Workers: *workers, FlowCap: *flowCap, Scheduler: schedKind}
+	eCfg := engine.Config{Workers: *workers, FlowCap: *flowCap, Scheduler: schedKind, DenseOff: *denseoff}
 	var reg *metrics.Registry
 	if *showMetrics {
 		reg = metrics.NewRegistry()

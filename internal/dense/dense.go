@@ -1,0 +1,134 @@
+// Package dense provides epoch-stamped dense sets over small integer key
+// spaces (vertex IDs, flow IDs). They replace the per-batch
+// `make(map[...]bool)` scratch sets on the engines' hot path: membership is
+// a stamp comparison, iteration walks a packed member slice, and Clear is an
+// O(1) epoch bump instead of a fresh allocation, so a set retained across
+// batches contributes zero steady-state allocations.
+//
+// Keys must be non-negative and dense-ish: a Set sized for universe n holds
+// two 4-byte words per key in [0, n). That is exactly the shape of GraphFly
+// vertex and flow ID spaces, where the universe is known up front and small
+// relative to the update stream that scans it every batch.
+package dense
+
+// Key is any 32-bit integer ID type. Negative keys are not supported;
+// passing one panics via out-of-range conversion growth.
+type Key interface {
+	~int32 | ~uint32
+}
+
+// VertexSet is a Set over raw uint32 vertex IDs (graph.VertexID).
+type VertexSet = Set[uint32]
+
+// FlowSet is a Set over int32 dependency-flow IDs.
+type FlowSet = Set[int32]
+
+// Set is an epoch-stamped dense set. The zero value is usable and grows on
+// demand; prefer NewSet (or Reset) with the universe size to avoid growth
+// reallocations on the hot path.
+//
+// Invariant: epoch >= 1 whenever the set is observable, and stamp[k] ==
+// epoch iff k is a member. Clear bumps the epoch; on the (rare) uint32
+// wraparound it zeroes the stamps once so stale stamps from 2^32 clears ago
+// can never alias the new epoch.
+type Set[K Key] struct {
+	stamp   []uint32
+	pos     []int32
+	members []K
+	epoch   uint32
+}
+
+// NewSet returns an empty set sized for keys in [0, n).
+func NewSet[K Key](n int) *Set[K] {
+	s := &Set[K]{}
+	s.Reset(n)
+	return s
+}
+
+// Reset clears the set and ensures capacity for keys in [0, n). Backing
+// arrays are retained when already large enough, so Reset is the
+// repartition-time companion to the per-batch Clear.
+func (s *Set[K]) Reset(n int) {
+	if n > len(s.stamp) {
+		s.stamp = make([]uint32, n)
+		s.pos = make([]int32, n)
+		s.epoch = 0 // fresh zero stamps: any epoch >= 1 is safe
+	}
+	s.Clear()
+}
+
+// Clear empties the set in O(1) by bumping the epoch.
+func (s *Set[K]) Clear() {
+	s.members = s.members[:0]
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could alias, wipe them
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+func (s *Set[K]) grow(n int) {
+	c := len(s.stamp)*2 + 1
+	if c < n {
+		c = n
+	}
+	stamp := make([]uint32, c)
+	pos := make([]int32, c)
+	copy(stamp, s.stamp)
+	copy(pos, s.pos)
+	s.stamp, s.pos = stamp, pos
+	if s.epoch == 0 {
+		s.epoch = 1
+	}
+}
+
+// Add inserts k and reports whether it was absent.
+func (s *Set[K]) Add(k K) bool {
+	i := int(uint32(k))
+	if i >= len(s.stamp) {
+		s.grow(i + 1)
+	}
+	if s.stamp[i] == s.epoch && s.epoch != 0 {
+		return false
+	}
+	if s.epoch == 0 {
+		s.epoch = 1
+	}
+	s.stamp[i] = s.epoch
+	s.pos[i] = int32(len(s.members))
+	s.members = append(s.members, k)
+	return true
+}
+
+// Has reports membership of k.
+func (s *Set[K]) Has(k K) bool {
+	i := int(uint32(k))
+	return i < len(s.stamp) && s.stamp[i] == s.epoch && s.epoch != 0
+}
+
+// Remove deletes k and reports whether it was present. The member order is
+// not preserved (swap-delete).
+func (s *Set[K]) Remove(k K) bool {
+	i := int(uint32(k))
+	if i >= len(s.stamp) || s.stamp[i] != s.epoch || s.epoch == 0 {
+		return false
+	}
+	p := s.pos[i]
+	last := len(s.members) - 1
+	moved := s.members[last]
+	s.members[p] = moved
+	s.pos[uint32(moved)] = p
+	s.members = s.members[:last]
+	s.stamp[i] = 0 // epoch >= 1, so 0 never matches
+	return true
+}
+
+// Len returns the number of members.
+func (s *Set[K]) Len() int { return len(s.members) }
+
+// Members returns the members in insertion order (perturbed by Remove's
+// swap-delete). The slice aliases internal storage: valid until the next
+// mutation, must not be modified.
+func (s *Set[K]) Members() []K { return s.members }

@@ -1,0 +1,215 @@
+package dense
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// oracleCheck compares a Set against a plain map after every operation of a
+// random op stream. Covers Add/Has/Remove/Clear/Len/Members.
+func oracleCheck(t *testing.T, seed uint64, universe int, ops int, clearProb float64) {
+	t.Helper()
+	r := rng.New(seed)
+	s := NewSet[int32](universe)
+	oracle := make(map[int32]bool)
+	for i := 0; i < ops; i++ {
+		k := int32(r.Intn(universe))
+		switch {
+		case r.Float64() < clearProb:
+			s.Clear()
+			oracle = make(map[int32]bool)
+		case r.Float64() < 0.6:
+			added := s.Add(k)
+			if added == oracle[k] {
+				t.Fatalf("seed %d op %d: Add(%d) = %v, oracle had %v", seed, i, k, added, oracle[k])
+			}
+			oracle[k] = true
+		default:
+			removed := s.Remove(k)
+			if removed != oracle[k] {
+				t.Fatalf("seed %d op %d: Remove(%d) = %v, oracle %v", seed, i, k, removed, oracle[k])
+			}
+			delete(oracle, k)
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("seed %d op %d: Len = %d, oracle %d", seed, i, s.Len(), len(oracle))
+		}
+		probe := int32(r.Intn(universe))
+		if s.Has(probe) != oracle[probe] {
+			t.Fatalf("seed %d op %d: Has(%d) = %v, oracle %v", seed, i, probe, s.Has(probe), oracle[probe])
+		}
+	}
+	// Members must be exactly the oracle keys (order-free).
+	got := append([]int32(nil), s.Members()...)
+	sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+	want := make([]int32, 0, len(oracle))
+	for k := range oracle {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	if len(got) != len(want) {
+		t.Fatalf("seed %d: members %v, oracle %v", seed, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("seed %d: members %v, oracle %v", seed, got, want)
+		}
+	}
+}
+
+func TestSetMatchesMapOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		oracleCheck(t, seed, 64, 2000, 0.02)
+	}
+}
+
+func TestSetOracleTinyUniverse(t *testing.T) {
+	for seed := uint64(100); seed <= 110; seed++ {
+		oracleCheck(t, seed, 3, 500, 0.1)
+	}
+}
+
+// TestClearVsRemoveEquivalence: clearing via epoch bump must be
+// observationally identical to removing every member individually.
+func TestClearVsRemoveEquivalence(t *testing.T) {
+	r := rng.New(7)
+	a := NewSet[uint32](128)
+	b := NewSet[uint32](128)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			k := uint32(r.Intn(128))
+			a.Add(k)
+			b.Add(k)
+		}
+		a.Clear()
+		for _, k := range append([]uint32(nil), b.Members()...) {
+			if !b.Remove(k) {
+				t.Fatalf("round %d: member %d vanished", round, k)
+			}
+		}
+		if a.Len() != 0 || b.Len() != 0 {
+			t.Fatalf("round %d: lens %d/%d after empty", round, a.Len(), b.Len())
+		}
+		for k := uint32(0); k < 128; k++ {
+			if a.Has(k) || b.Has(k) {
+				t.Fatalf("round %d: key %d survived", round, k)
+			}
+		}
+	}
+}
+
+// TestEpochWraparound forces the uint32 epoch through 0. Stale stamps from
+// before the wrap must not read as members afterwards.
+func TestEpochWraparound(t *testing.T) {
+	s := NewSet[int32](16)
+	s.Add(3)
+	s.Add(7)
+	// Jump to the edge: next two Clears wrap the counter through zero.
+	s.epoch = ^uint32(0) - 1
+	s.stamp[3] = s.epoch // keep 3 a member at the forged epoch
+	s.stamp[7] = s.epoch
+	if !s.Has(3) || !s.Has(7) {
+		t.Fatal("forged epoch lost members")
+	}
+	s.Clear() // epoch = max
+	if s.Has(3) || s.Len() != 0 {
+		t.Fatal("clear at epoch max leaked member")
+	}
+	s.Add(5)
+	s.Clear() // epoch wraps to 0 -> stamps wiped, epoch = 1
+	if s.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", s.epoch)
+	}
+	for k := int32(0); k < 16; k++ {
+		if s.Has(k) {
+			t.Fatalf("stale stamp on %d read as member after wrap", k)
+		}
+	}
+	// Epoch 1 must behave like a fresh set: in particular key 5, whose
+	// stamp was written right before the wrap, must be re-addable.
+	if !s.Add(5) {
+		t.Fatal("Add(5) after wrap claims already present")
+	}
+	if !s.Has(5) || s.Len() != 1 {
+		t.Fatal("membership broken after wrap")
+	}
+}
+
+// TestZeroValueAndGrowth: the zero Set must be usable and grow on demand.
+func TestZeroValueAndGrowth(t *testing.T) {
+	var s Set[uint32]
+	if s.Has(9) {
+		t.Fatal("zero set claims membership")
+	}
+	if !s.Add(9) {
+		t.Fatal("Add on zero set failed")
+	}
+	if !s.Add(1000) { // forces growth
+		t.Fatal("growth Add failed")
+	}
+	if !s.Has(9) || !s.Has(1000) || s.Len() != 2 {
+		t.Fatal("growth lost members")
+	}
+	s.Reset(4) // smaller n keeps capacity
+	if s.Len() != 0 || s.Has(9) || s.Has(1000) {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// TestRemoveSwapDelete pins the pos bookkeeping: removing a middle member
+// must keep every other member reachable.
+func TestRemoveSwapDelete(t *testing.T) {
+	s := NewSet[int32](8)
+	for k := int32(0); k < 6; k++ {
+		s.Add(k)
+	}
+	s.Remove(2)
+	s.Remove(0)
+	for _, k := range []int32{1, 3, 4, 5} {
+		if !s.Has(k) {
+			t.Fatalf("member %d lost after swap-deletes", k)
+		}
+		if !s.Remove(k) {
+			t.Fatalf("Remove(%d) after swap-deletes failed", k)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", s.Len())
+	}
+}
+
+// FuzzSetOps drives a Set and a map oracle from an arbitrary op tape.
+func FuzzSetOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x81, 0xff, 0x00, 0x42})
+	f.Add([]byte{0xc0, 0x01, 0x02, 0xc1, 0x03})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		s := NewSet[uint32](32)
+		oracle := make(map[uint32]bool)
+		for _, b := range tape {
+			k := uint32(b & 0x3f)
+			switch {
+			case b&0xc0 == 0xc0:
+				s.Clear()
+				oracle = make(map[uint32]bool)
+			case b&0x80 != 0:
+				if s.Remove(k) != oracle[k] {
+					t.Fatalf("Remove(%d) diverged from oracle", k)
+				}
+				delete(oracle, k)
+			default:
+				if s.Add(k) == oracle[k] {
+					t.Fatalf("Add(%d) diverged from oracle", k)
+				}
+				oracle[k] = true
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("Len %d != oracle %d", s.Len(), len(oracle))
+			}
+			if s.Has(k) != oracle[k] {
+				t.Fatalf("Has(%d) diverged", k)
+			}
+		}
+	})
+}

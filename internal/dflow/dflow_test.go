@@ -180,8 +180,7 @@ func TestScheduleLevelsOnLine(t *testing.T) {
 	f := etree.NewForest(g, etree.Forward)
 	p := NewPartition(f, 2)
 	fg := NewFlowGraph(g, p)
-	impacted := map[int32]bool{p.Flow(0): true, p.Flow(2): true, p.Flow(4): true}
-	groups := Schedule(fg, impacted)
+	groups := Schedule(fg, []int32{p.Flow(0), p.Flow(2), p.Flow(4)})
 	if len(groups) != 3 {
 		t.Fatalf("groups = %+v", groups)
 	}
@@ -212,7 +211,7 @@ func TestScheduleMergesCycles(t *testing.T) {
 	if fa == fb {
 		t.Skip("partition merged the cycle already; nothing to schedule")
 	}
-	groups := Schedule(fg, map[int32]bool{fa: true, fb: true})
+	groups := Schedule(fg, []int32{fa, fb})
 	if len(groups) != 1 {
 		t.Fatalf("cyclic flows not merged: %+v", groups)
 	}
@@ -259,10 +258,13 @@ func TestSchedulePropertyTopological(t *testing.T) {
 		}
 		fg := NewFlowGraph(g, p)
 		impacted := map[int32]bool{}
+		list := []int32{}
 		for i := 0; i < 10; i++ {
-			impacted[p.Flow(graph.VertexID(r.Intn(cfg.NumV)))] = true
+			f := p.Flow(graph.VertexID(r.Intn(cfg.NumV)))
+			impacted[f] = true
+			list = append(list, f) // duplicates on purpose: Schedule dedupes
 		}
-		groups := Schedule(fg, impacted)
+		groups := Schedule(fg, list)
 		levelOf := map[int32]int{}
 		groupOf := map[int32]int{}
 		for gi, grp := range groups {

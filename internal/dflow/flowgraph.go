@@ -2,6 +2,7 @@ package dflow
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -18,27 +19,189 @@ func errUnassigned(v uint32) error { return fmt.Errorf("dflow: vertex %d unassig
 // D-trees: given an impacted flow, it answers "which other flows can my
 // values reach" without touching graph edges (§V-A).
 //
-// Edge multiplicities are reference counts so incremental deletion works.
+// Storage is a CSR-style refcount index rebuilt into reusable buffers at
+// (re)partition time — the former map-of-maps representation re-allocated
+// O(flows + cross edges) of map headers on every rebuild. Between rebuilds,
+// AddEdge/DeleteEdge adjust refcounts in place; a flow pair that first
+// appears after the rebuild goes into a small per-flow overflow map (kept
+// allocated and emptied with clear() at the next rebuild). A CSR entry may
+// rest at count zero and be re-incremented later; iteration skips
+// non-positive counts.
 type FlowGraph struct {
 	part *Partition
-	out  []map[int32]int32 // flow -> downstream flow -> #graph edges
-	in   []map[int32]int32 // reverse index, for impact analysis
+
+	outPtr, outDst, outCnt []int32 // rows sorted by dst flow id
+	inPtr, inSrc, inCnt    []int32 // reverse index, rows sorted by src
+	outDeg                 []int32 // distinct downstream flows with positive count
+
+	outOvf []map[int32]int32 // novel pairs since the last rebuild
+	inOvf  []map[int32]int32
+
+	rowLen []int32 // rebuild scratch: per-flow cross-edge count, then cursor
+	tmpDst []int32 // rebuild scratch: flattened unsorted rows
 }
 
 // NewFlowGraph indexes every cross-flow edge of g under partition part.
 func NewFlowGraph(g *graph.Streaming, part *Partition) *FlowGraph {
-	fg := &FlowGraph{
-		part: part,
-		out:  make([]map[int32]int32, part.NumFlows()),
-		in:   make([]map[int32]int32, part.NumFlows()),
+	fg := &FlowGraph{}
+	fg.Rebuild(g, part)
+	return fg
+}
+
+// newFlowGraphN returns an empty FlowGraph over n flows with no partition.
+// Tests use it to build flow digraphs directly via addFlowEdge.
+func newFlowGraphN(n int) *FlowGraph {
+	fg := &FlowGraph{}
+	fg.sizeFor(n)
+	return fg
+}
+
+// sizeFor (re)establishes buffers for n flows, reusing capacity. Counts and
+// overflow maps are emptied; pointer arrays are zeroed.
+func (fg *FlowGraph) sizeFor(n int) {
+	fg.outPtr = resetI32(fg.outPtr, n+1)
+	fg.inPtr = resetI32(fg.inPtr, n+1)
+	fg.outDeg = resetI32(fg.outDeg, n)
+	fg.rowLen = resetI32(fg.rowLen, n)
+	fg.outDst = fg.outDst[:0]
+	fg.outCnt = fg.outCnt[:0]
+	fg.inSrc = fg.inSrc[:0]
+	fg.inCnt = fg.inCnt[:0]
+	fg.outOvf = resetOvf(fg.outOvf, n)
+	fg.inOvf = resetOvf(fg.inOvf, n)
+}
+
+// resetI32 returns a zeroed slice of length n reusing capacity.
+func resetI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resetOvf returns a length-n overflow slice whose existing maps are kept
+// allocated but emptied, so steady-state rebuilds free no map storage.
+func resetOvf(s []map[int32]int32, n int) []map[int32]int32 {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]map[int32]int32, n-cap(s))...)
+	}
+	s = s[:n]
+	for _, m := range s {
+		clear(m)
+	}
+	return s
+}
+
+// Rebuild re-indexes every cross-flow edge of g under part, reusing the
+// receiver's buffers. Engines call this at repartition instead of
+// allocating a fresh FlowGraph.
+func (fg *FlowGraph) Rebuild(g *graph.Streaming, part *Partition) {
+	fg.part = part
+	nf := part.NumFlows()
+	fg.sizeFor(nf)
+
+	// Pass 1: count cross edges per source flow (duplicates included).
+	total := 0
 	for v := 0; v < g.NumVertices(); v++ {
-		src := graph.VertexID(v)
-		for _, h := range g.Out(src) {
-			fg.AddEdge(src, h.To)
+		fu := part.Flow(graph.VertexID(v))
+		for _, h := range g.Out(graph.VertexID(v)) {
+			if part.Flow(h.To) != fu {
+				fg.rowLen[fu]++
+				total++
+			}
 		}
 	}
-	return fg
+	// Pass 2: flatten destination flows per row.
+	if cap(fg.tmpDst) < total {
+		fg.tmpDst = make([]int32, total)
+	}
+	fg.tmpDst = fg.tmpDst[:total]
+	cur := fg.outPtr // reuse as cursor array; rewritten below
+	pos := int32(0)
+	for f := 0; f < nf; f++ {
+		cur[f] = pos
+		pos += fg.rowLen[f]
+		fg.rowLen[f] = cur[f] // remember row start for the RLE pass
+	}
+	cur[nf] = pos
+	for v := 0; v < g.NumVertices(); v++ {
+		fu := part.Flow(graph.VertexID(v))
+		for _, h := range g.Out(graph.VertexID(v)) {
+			if fv := part.Flow(h.To); fv != fu {
+				fg.tmpDst[cur[fu]] = fv
+				cur[fu]++
+			}
+		}
+	}
+	// Pass 3: sort each row and run-length-encode into the out CSR. After
+	// pass 2, cur[f] is the row end and rowLen[f] the row start.
+	for f := 0; f < nf; f++ {
+		lo, hi := fg.rowLen[f], cur[f]
+		row := fg.tmpDst[lo:hi]
+		slices.Sort(row)
+		fg.outPtr[f] = int32(len(fg.outDst))
+		for i := 0; i < len(row); {
+			j := i + 1
+			for j < len(row) && row[j] == row[i] {
+				j++
+			}
+			fg.outDst = append(fg.outDst, row[i])
+			fg.outCnt = append(fg.outCnt, int32(j-i))
+			i = j
+		}
+		fg.outDeg[f] = int32(len(fg.outDst)) - fg.outPtr[f]
+	}
+	fg.outPtr[nf] = int32(len(fg.outDst))
+
+	// Reverse index: walking out-rows in ascending f appends sources to
+	// each in-row already sorted, so no per-row sort is needed.
+	inLen := fg.rowLen // reuse scratch as in-row counters
+	for i := range inLen {
+		inLen[i] = 0
+	}
+	for _, g := range fg.outDst {
+		inLen[g]++
+	}
+	pos = 0
+	for f := 0; f < nf; f++ {
+		fg.inPtr[f] = pos
+		pos += inLen[f]
+		inLen[f] = fg.inPtr[f]
+	}
+	fg.inPtr[nf] = pos
+	fg.inSrc = resetI32(fg.inSrc, int(pos))
+	fg.inCnt = resetI32(fg.inCnt, int(pos))
+	for f := 0; f < nf; f++ {
+		for p := fg.outPtr[f]; p < fg.outPtr[f+1]; p++ {
+			gid := fg.outDst[p]
+			at := inLen[gid]
+			fg.inSrc[at] = int32(f)
+			fg.inCnt[at] = fg.outCnt[p]
+			inLen[gid]++
+		}
+	}
+}
+
+// csrFind binary-searches row f of a CSR for neighbour x, returning the
+// entry position or -1.
+func csrFind(ptr, ids []int32, f, x int32) int32 {
+	lo, hi := ptr[f], ptr[f+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ids[mid] < x:
+			lo = mid + 1
+		case ids[mid] > x:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	return -1
 }
 
 // AddEdge records graph edge u->v.
@@ -47,14 +210,7 @@ func (fg *FlowGraph) AddEdge(u, v graph.VertexID) {
 	if fu == fv {
 		return
 	}
-	if fg.out[fu] == nil {
-		fg.out[fu] = make(map[int32]int32)
-	}
-	fg.out[fu][fv]++
-	if fg.in[fv] == nil {
-		fg.in[fv] = make(map[int32]int32)
-	}
-	fg.in[fv][fu]++
+	fg.addFlowEdge(fu, fv)
 }
 
 // DeleteEdge removes graph edge u->v from the index.
@@ -63,37 +219,100 @@ func (fg *FlowGraph) DeleteEdge(u, v graph.VertexID) {
 	if fu == fv {
 		return
 	}
-	if m := fg.out[fu]; m != nil {
-		if m[fv]--; m[fv] <= 0 {
-			delete(m, fv)
+	// Out direction.
+	if p := csrFind(fg.outPtr, fg.outDst, fu, fv); p >= 0 {
+		if fg.outCnt[p] > 0 {
+			if fg.outCnt[p]--; fg.outCnt[p] == 0 {
+				fg.outDeg[fu]--
+			}
+		}
+	} else if m := fg.outOvf[fu]; m != nil {
+		if c := m[fv]; c > 0 {
+			if c == 1 {
+				delete(m, fv)
+				fg.outDeg[fu]--
+			} else {
+				m[fv] = c - 1
+			}
 		}
 	}
-	if m := fg.in[fv]; m != nil {
-		if m[fu]--; m[fu] <= 0 {
-			delete(m, fu)
+	// In direction.
+	if p := csrFind(fg.inPtr, fg.inSrc, fv, fu); p >= 0 {
+		if fg.inCnt[p] > 0 {
+			fg.inCnt[p]--
+		}
+	} else if m := fg.inOvf[fv]; m != nil {
+		if c := m[fu]; c > 0 {
+			if c == 1 {
+				delete(m, fu)
+			} else {
+				m[fu] = c - 1
+			}
 		}
 	}
 }
 
+// addFlowEdge bumps the refcount of flow edge fu->fv by one.
+func (fg *FlowGraph) addFlowEdge(fu, fv int32) {
+	if p := csrFind(fg.outPtr, fg.outDst, fu, fv); p >= 0 {
+		if fg.outCnt[p]++; fg.outCnt[p] == 1 {
+			fg.outDeg[fu]++
+		}
+	} else {
+		m := fg.outOvf[fu]
+		if m == nil {
+			m = make(map[int32]int32)
+			fg.outOvf[fu] = m
+		}
+		if m[fv]++; m[fv] == 1 {
+			fg.outDeg[fu]++
+		}
+	}
+	if p := csrFind(fg.inPtr, fg.inSrc, fv, fu); p >= 0 {
+		fg.inCnt[p]++
+	} else {
+		m := fg.inOvf[fv]
+		if m == nil {
+			m = make(map[int32]int32)
+			fg.inOvf[fv] = m
+		}
+		m[fu]++
+	}
+}
+
 // NumFlows returns the number of flows.
-func (fg *FlowGraph) NumFlows() int { return len(fg.out) }
+func (fg *FlowGraph) NumFlows() int { return len(fg.outDeg) }
 
 // OutFlows calls fn for each flow downstream of f.
 func (fg *FlowGraph) OutFlows(f int32, fn func(g int32)) {
-	for g := range fg.out[f] {
-		fn(g)
+	for p := fg.outPtr[f]; p < fg.outPtr[f+1]; p++ {
+		if fg.outCnt[p] > 0 {
+			fn(fg.outDst[p])
+		}
+	}
+	for g, c := range fg.outOvf[f] {
+		if c > 0 {
+			fn(g)
+		}
 	}
 }
 
 // InFlows calls fn for each flow upstream of f.
 func (fg *FlowGraph) InFlows(f int32, fn func(g int32)) {
-	for g := range fg.in[f] {
-		fn(g)
+	for p := fg.inPtr[f]; p < fg.inPtr[f+1]; p++ {
+		if fg.inCnt[p] > 0 {
+			fn(fg.inSrc[p])
+		}
+	}
+	for g, c := range fg.inOvf[f] {
+		if c > 0 {
+			fn(g)
+		}
 	}
 }
 
 // OutDegree returns the number of downstream flows of f.
-func (fg *FlowGraph) OutDegree(f int32) int { return len(fg.out[f]) }
+func (fg *FlowGraph) OutDegree(f int32) int { return int(fg.outDeg[f]) }
 
 // Reach returns the set of flows reachable from the seeds (seeds included),
 // following downstream edges, capped at limit flows (limit <= 0 means no
@@ -114,12 +333,12 @@ func (fg *FlowGraph) Reach(seeds []int32, limit int) map[int32]bool {
 		}
 		f := queue[0]
 		queue = queue[1:]
-		for g := range fg.out[f] {
+		fg.OutFlows(f, func(g int32) {
 			if !seen[g] {
 				seen[g] = true
 				queue = append(queue, g)
 			}
-		}
+		})
 	}
 	return seen
 }

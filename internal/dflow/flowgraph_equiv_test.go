@@ -1,0 +1,133 @@
+package dflow
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/etree"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// flowOracle recomputes the flow adjacency from scratch as the old
+// map-of-maps representation would have: counts of graph edges per
+// cross-flow pair.
+func flowOracle(g *graph.Streaming, p *Partition) (out, in []map[int32]int32) {
+	out = make([]map[int32]int32, p.NumFlows())
+	in = make([]map[int32]int32, p.NumFlows())
+	for _, e := range g.Edges() {
+		fu, fv := p.Flow(e.Src), p.Flow(e.Dst)
+		if fu == fv {
+			continue
+		}
+		if out[fu] == nil {
+			out[fu] = make(map[int32]int32)
+		}
+		out[fu][fv]++
+		if in[fv] == nil {
+			in[fv] = make(map[int32]int32)
+		}
+		in[fv][fu]++
+	}
+	return out, in
+}
+
+func sortedKeys(m map[int32]int32) []int32 {
+	ks := make([]int32, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func collectSorted(iter func(func(int32))) []int32 {
+	var got []int32
+	iter(func(f int32) { got = append(got, f) })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	return got
+}
+
+func compareFlowGraph(t *testing.T, tag string, fg *FlowGraph, g *graph.Streaming, p *Partition) {
+	t.Helper()
+	out, in := flowOracle(g, p)
+	for f := int32(0); int(f) < p.NumFlows(); f++ {
+		wantOut := sortedKeys(out[f])
+		gotOut := collectSorted(func(fn func(int32)) { fg.OutFlows(f, fn) })
+		if len(wantOut) != len(gotOut) {
+			t.Fatalf("%s: flow %d out = %v, oracle %v", tag, f, gotOut, wantOut)
+		}
+		for i := range wantOut {
+			if wantOut[i] != gotOut[i] {
+				t.Fatalf("%s: flow %d out = %v, oracle %v", tag, f, gotOut, wantOut)
+			}
+		}
+		if fg.OutDegree(f) != len(wantOut) {
+			t.Fatalf("%s: flow %d OutDegree = %d, oracle %d", tag, f, fg.OutDegree(f), len(wantOut))
+		}
+		wantIn := sortedKeys(in[f])
+		gotIn := collectSorted(func(fn func(int32)) { fg.InFlows(f, fn) })
+		if len(wantIn) != len(gotIn) {
+			t.Fatalf("%s: flow %d in = %v, oracle %v", tag, f, gotIn, wantIn)
+		}
+		for i := range wantIn {
+			if wantIn[i] != gotIn[i] {
+				t.Fatalf("%s: flow %d in = %v, oracle %v", tag, f, gotIn, wantIn)
+			}
+		}
+	}
+}
+
+// TestFlowGraphMatchesMapOracle streams random add/delete updates through
+// the CSR-backed FlowGraph (including deletions driving CSR counts to zero
+// and re-additions resurrecting them, plus novel pairs landing in the
+// overflow maps) and checks every view against a from-scratch oracle.
+// Mid-stream Rebuild calls must fold the overflow back into the CSR and
+// keep all views identical.
+func TestFlowGraphMatchesMapOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		r := rng.New(seed)
+		cfg := gen.Config{Kind: gen.ER, NumV: 60, NumE: 150, Seed: seed}
+		g := graph.FromEdges(cfg.NumV, gen.Generate(cfg))
+		f := etree.NewForest(g, etree.Forward)
+		p := NewPartition(f, 6)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		fg := NewFlowGraph(g, p)
+		compareFlowGraph(t, "initial", fg, g, p)
+
+		for step := 0; step < 200; step++ {
+			src := graph.VertexID(r.Intn(cfg.NumV))
+			dst := graph.VertexID(r.Intn(cfg.NumV))
+			if src == dst {
+				continue
+			}
+			if r.Float64() < 0.45 {
+				if _, ok := g.DeleteEdge(src, dst); ok {
+					fg.DeleteEdge(src, dst)
+				}
+			} else {
+				if g.AddEdge(graph.Edge{Src: src, Dst: dst, W: 1}) {
+					fg.AddEdge(src, dst)
+				}
+			}
+			if step%23 == 0 {
+				compareFlowGraph(t, "stream", fg, g, p)
+			}
+			if step%67 == 66 {
+				fg.Rebuild(g, p) // same partition, fresh CSR
+				compareFlowGraph(t, "rebuild", fg, g, p)
+			}
+		}
+		compareFlowGraph(t, "final", fg, g, p)
+
+		// A rebuild under a brand-new partition (the repartition path) must
+		// also agree, reusing the same buffers.
+		f2 := etree.NewForest(g, etree.Forward)
+		p2 := NewPartition(f2, 9)
+		fg.Rebuild(g, p2)
+		compareFlowGraph(t, "repartition", fg, g, p2)
+	}
+}

@@ -17,16 +17,24 @@ type Group struct {
 // the impacted set, then Kahn levels on the condensed DAG. Groups are
 // returned sorted by level (ties broken by smallest flow id) so workers can
 // consume them in priority order.
-func Schedule(fg *FlowGraph, impacted map[int32]bool) []Group {
+//
+// impacted is a list of flow ids (duplicates tolerated); engines pass the
+// member slice of their epoch-stamped dense set directly, so no per-batch
+// map materializes on the hot path.
+func Schedule(fg *FlowGraph, impacted []int32) []Group {
 	if len(impacted) == 0 {
 		return nil
 	}
 	// Dense re-indexing of the impacted flows for the SCC pass.
-	ids := make([]int32, 0, len(impacted))
-	for f := range impacted {
-		ids = append(ids, f)
-	}
+	ids := append([]int32(nil), impacted...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	uniq := ids[:1]
+	for _, f := range ids[1:] {
+		if f != uniq[len(uniq)-1] {
+			uniq = append(uniq, f)
+		}
+	}
+	ids = uniq
 	index := make(map[int32]int32, len(ids))
 	for i, f := range ids {
 		index[f] = int32(i)

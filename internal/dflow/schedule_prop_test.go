@@ -11,30 +11,20 @@ import (
 // flows, level(u) < level(v), and every set of mutually-reachable
 // (cyclic) impacted flows lands in exactly one Group.
 //
-// The FlowGraph is built directly via its out/in maps — Schedule only
-// consults OutFlows, so no Partition is needed.
+// The FlowGraph is built directly via addFlowEdge — Schedule only consults
+// OutFlows, so no Partition is needed.
 
 // randFlowGraph builds a random flow digraph on n flows with roughly
 // density*n*n directed edges (no self-loops; self-edges are impossible in
 // a real FlowGraph since AddEdge drops same-flow pairs).
 func randFlowGraph(r *rng.Xoshiro256, n int, density float64) *FlowGraph {
-	fg := &FlowGraph{
-		out: make([]map[int32]int32, n),
-		in:  make([]map[int32]int32, n),
-	}
+	fg := newFlowGraphN(n)
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
 			if u == v || r.Float64() >= density {
 				continue
 			}
-			if fg.out[u] == nil {
-				fg.out[u] = make(map[int32]int32)
-			}
-			fg.out[u][int32(v)]++
-			if fg.in[v] == nil {
-				fg.in[v] = make(map[int32]int32)
-			}
-			fg.in[v][int32(u)]++
+			fg.addFlowEdge(int32(u), int32(v))
 		}
 	}
 	return fg
@@ -50,13 +40,13 @@ func reachableWithin(fg *FlowGraph, impacted map[int32]bool, src int32) map[int3
 	for len(queue) > 0 {
 		f := queue[0]
 		queue = queue[1:]
-		for g := range fg.out[f] {
+		fg.OutFlows(f, func(g int32) {
 			if !impacted[g] || seen[g] {
-				continue
+				return
 			}
 			seen[g] = true
 			queue = append(queue, g)
-		}
+		})
 	}
 	return seen
 }
@@ -73,7 +63,11 @@ func sameSCC(fg *FlowGraph, impacted map[int32]bool, a, b int32) bool {
 
 func checkScheduleProperties(t *testing.T, fg *FlowGraph, impacted map[int32]bool, seed uint64) {
 	t.Helper()
-	groups := Schedule(fg, impacted)
+	list := make([]int32, 0, len(impacted))
+	for f := range impacted {
+		list = append(list, f)
+	}
+	groups := Schedule(fg, list)
 
 	// Every impacted flow appears in exactly one group; nothing else does.
 	groupOf := make(map[int32]int, len(impacted))
@@ -171,27 +165,15 @@ func TestSchedulePropertiesDenseCyclic(t *testing.T) {
 // TestScheduleKnownCycle is a deterministic anchor: a 3-cycle feeding a
 // chain must give exactly {cycle}@0 -> {3}@1 -> {4}@2.
 func TestScheduleKnownCycle(t *testing.T) {
-	fg := &FlowGraph{
-		out: make([]map[int32]int32, 5),
-		in:  make([]map[int32]int32, 5),
-	}
-	add := func(u, v int32) {
-		if fg.out[u] == nil {
-			fg.out[u] = make(map[int32]int32)
-		}
-		fg.out[u][v]++
-		if fg.in[v] == nil {
-			fg.in[v] = make(map[int32]int32)
-		}
-		fg.in[v][u]++
-	}
+	fg := newFlowGraphN(5)
+	add := fg.addFlowEdge
 	add(0, 1)
 	add(1, 2)
 	add(2, 0) // cycle {0,1,2}
 	add(2, 3)
 	add(3, 4)
 	impacted := map[int32]bool{0: true, 1: true, 2: true, 3: true, 4: true}
-	groups := Schedule(fg, impacted)
+	groups := Schedule(fg, []int32{0, 1, 2, 3, 4})
 	if len(groups) != 3 {
 		t.Fatalf("got %d groups, want 3: %+v", len(groups), groups)
 	}

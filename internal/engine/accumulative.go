@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/cachesim"
+	"repro/internal/dense"
 	"repro/internal/dflow"
 	"repro/internal/etree"
 	"repro/internal/graph"
@@ -59,6 +60,9 @@ type Accumulative struct {
 	seeds   [][]uint32 // per-flow seed vertices for the current batch
 	pl      scheduler
 
+	impacted *dense.FlowSet // per-batch impacted flows, reused across batches
+	symm     Symmetrizer    // retained symmetrize scratch
+
 	pushes    atomic.Int64
 	crossMsgs atomic.Int64
 
@@ -76,6 +80,9 @@ func NewAccumulative(g *graph.Streaming, alg algo.Accumulative, cfg Config) *Acc
 		probe: cfg.probe(),
 	}
 	_, e.profiled = e.probe.(*cachesim.Sim)
+	if cfg.DenseOff {
+		g.DisableHubIndex()
+	}
 	n := g.NumVertices()
 	e.outW = make([]float64, n)
 	for v := 0; v < n; v++ {
@@ -100,20 +107,31 @@ func NewAccumulative(g *graph.Streaming, alg algo.Accumulative, cfg Config) *Acc
 		e.state.SetVec(uint32(v), buf)
 		e.needPush.set(uint32(v))
 	}
-	impacted := make(map[int32]bool)
+	impacted := e.impactedScratch(e.part.NumFlows())
 	e.seeds = make([][]uint32, e.part.NumFlows())
 	for v := 0; v < n; v++ {
 		f := e.part.Flow(graph.VertexID(v))
 		e.seeds[f] = append(e.seeds[f], uint32(v))
-		impacted[f] = true
+		impacted.Add(f)
 	}
-	e.converge(impacted)
+	e.converge(impacted.Members())
 	return e
+}
+
+// impactedScratch hands out the per-batch impacted-flow set (see
+// scratchFlowSet for the -denseoff semantics).
+func (e *Accumulative) impactedScratch(nf int) *dense.FlowSet {
+	e.impacted = scratchFlowSet(e.impacted, nf, e.cfg.DenseOff)
+	return e.impacted
 }
 
 func (e *Accumulative) repartition() {
 	e.part = dflow.NewPartition(e.forest, e.cfg.FlowCap)
-	e.fg = dflow.NewFlowGraph(e.G, e.part)
+	if e.fg == nil || e.cfg.DenseOff {
+		e.fg = dflow.NewFlowGraph(e.G, e.part)
+	} else {
+		e.fg.Rebuild(e.G, e.part)
+	}
 	mk := func() *layout.Store {
 		if e.cfg.ScatteredStorage {
 			return layout.NewScatteredStore(e.G.NumVertices(), e.dim)
@@ -141,7 +159,11 @@ func (e *Accumulative) refreshEdgeIndex() {
 	if !e.profiled {
 		return
 	}
-	e.outIdx = layout.NewEdgeIndex(e.G, e.part, !e.cfg.ScatteredStorage)
+	prev := e.outIdx
+	if e.cfg.DenseOff {
+		prev = nil
+	}
+	e.outIdx = layout.NewEdgeIndexInto(prev, e.G, e.part, !e.cfg.ScatteredStorage)
 }
 
 // State copies v's state vector into a fresh slice.
@@ -192,7 +214,11 @@ func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 	t0 := time.Now()
 	e.probe.BeginBatch()
 	if e.Alg.Symmetric() {
-		batch = Symmetrize(batch)
+		if e.cfg.DenseOff {
+			batch = Symmetrize(batch)
+		} else {
+			batch = e.symm.Symmetrize(batch)
+		}
 	}
 	if e.cfg.TraceWork {
 		e.trace = newWorkTrace()
@@ -258,11 +284,11 @@ func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 	for i := range e.seeds {
 		e.seeds[i] = e.seeds[i][:0]
 	}
-	impacted := make(map[int32]bool)
+	impacted := e.impactedScratch(nf)
 	seed := func(v uint32) {
 		f := e.part.Flow(v)
 		e.seeds[f] = append(e.seeds[f], v)
-		impacted[f] = true
+		impacted.Add(f)
 	}
 	unit := make([]float64, e.dim)
 	for _, u := range applied {
@@ -292,8 +318,8 @@ func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 	st.TrimTime = time.Since(tTrim)
 
 	tComp := time.Now()
-	st.Impacted = len(impacted)
-	units, levels := e.converge(impacted)
+	st.Impacted = impacted.Len()
+	units, levels := e.converge(impacted.Members())
 	st.Units = units
 	st.Levels = levels
 	st.ComputeTime = time.Since(tComp)
@@ -310,10 +336,10 @@ func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 
 // converge schedules the impacted flows and runs delta-push to quiescence.
 // It returns the number of scheduled units and levels.
-func (e *Accumulative) converge(impacted map[int32]bool) (int, int) {
+func (e *Accumulative) converge(impacted []int32) (int, int) {
 	var groups []dflow.Group
 	if e.cfg.NoSCCMerge {
-		for f := range impacted {
+		for _, f := range impacted {
 			groups = append(groups, dflow.Group{Flows: []int32{f}})
 		}
 	} else {

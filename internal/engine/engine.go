@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/cachesim"
+	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 )
@@ -61,6 +62,12 @@ type Config struct {
 	// duration histograms (internal/metrics). Nil costs one pointer
 	// comparison per batch — the same no-op discipline as Probe.
 	Metrics *metrics.Registry
+	// DenseOff is the memory-discipline ablation (-denseoff, Fig S2
+	// "before"): disable the graph's hub adjacency index and allocate the
+	// per-batch scratch state (impacted-flow set, symmetrize dedup map,
+	// flow graph at repartition) fresh each batch instead of reusing the
+	// retained epoch-stamped/arena structures.
+	DenseOff bool
 }
 
 func (c Config) workers() int {
@@ -145,28 +152,65 @@ func (f *flags) swapSet(v uint32) bool {
 // the same undirected edge is a delete, not an add), and emitted in both
 // directions so the directed graph faithfully models an undirected one.
 func Symmetrize(b graph.Batch) graph.Batch {
-	type key struct{ a, b graph.VertexID }
-	at := make(map[key]int, len(b))
-	canon := make(graph.Batch, 0, len(b))
+	var s Symmetrizer
+	return s.Symmetrize(b)
+}
+
+// symKey is an undirected vertex pair in canonical (min,max) order.
+type symKey struct{ a, b graph.VertexID }
+
+// Symmetrizer is the retained-state form of Symmetrize: the dedup map and
+// both batch buffers survive across calls (the map emptied with clear, the
+// slices re-sliced), so an engine symmetrizing every batch allocates only
+// when a batch outgrows all previous ones.
+//
+// Aliasing: the returned batch shares the Symmetrizer's buffer and is valid
+// until the next Symmetrize call on the same receiver.
+type Symmetrizer struct {
+	at    map[symKey]int
+	canon graph.Batch
+	out   graph.Batch
+}
+
+// Symmetrize canonicalizes, dedups (last update wins), and mirrors b.
+func (s *Symmetrizer) Symmetrize(b graph.Batch) graph.Batch {
+	if s.at == nil {
+		s.at = make(map[symKey]int, len(b))
+	} else {
+		clear(s.at)
+	}
+	s.canon = s.canon[:0]
 	for _, u := range b {
 		a, c := u.Src, u.Dst
 		if a > c {
 			a, c = c, a
 		}
 		cu := graph.Update{Edge: graph.Edge{Src: a, Dst: c, W: u.W}, Del: u.Del}
-		if i, ok := at[key{a, c}]; ok {
-			canon[i] = cu
+		if i, ok := s.at[symKey{a, c}]; ok {
+			s.canon[i] = cu
 			continue
 		}
-		at[key{a, c}] = len(canon)
-		canon = append(canon, cu)
+		s.at[symKey{a, c}] = len(s.canon)
+		s.canon = append(s.canon, cu)
 	}
-	out := make(graph.Batch, 0, 2*len(canon))
-	for _, u := range canon {
-		out = append(out,
+	s.out = s.out[:0]
+	for _, u := range s.canon {
+		s.out = append(s.out,
 			u,
 			graph.Update{Edge: graph.Edge{Src: u.Dst, Dst: u.Src, W: u.W}, Del: u.Del},
 		)
 	}
-	return out
+	return s.out
+}
+
+// scratchFlowSet returns a cleared impacted-flow set sized for nf flows.
+// The steady path reuses prev (allocated on first use); under the -denseoff
+// ablation it always allocates afresh, restoring the pre-optimization
+// per-batch churn this PR removed.
+func scratchFlowSet(prev *dense.FlowSet, nf int, denseOff bool) *dense.FlowSet {
+	if denseOff || prev == nil {
+		return dense.NewSet[int32](nf)
+	}
+	prev.Reset(nf)
+	return prev
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/cachesim"
+	"repro/internal/dense"
 	"repro/internal/dflow"
 	"repro/internal/etree"
 	"repro/internal/graph"
@@ -49,7 +50,9 @@ type Selective struct {
 	units    []*unit
 	unitOf   []int32 // flow -> unit index (atomic access)
 	inboxes  []inbox[selMsg]
-	trimList [][]uint32 // per-flow trim lists
+	trimList [][]uint32     // per-flow trim lists
+	impacted *dense.FlowSet // epoch-stamped impacted-flow scratch
+	symm     Symmetrizer
 	pl       scheduler
 
 	relaxations atomic.Int64
@@ -79,6 +82,9 @@ func NewSelective(g *graph.Streaming, alg algo.Selective, cfg Config) *Selective
 		probe: cfg.probe(),
 		kf:    etree.NewKeyForest(g.NumVertices()),
 	}
+	if cfg.DenseOff {
+		g.DisableHubIndex()
+	}
 	_, e.profiled = e.probe.(*cachesim.Sim)
 
 	vals, parent := algo.SolveSelective(g, alg)
@@ -96,7 +102,11 @@ func NewSelective(g *graph.Streaming, alg algo.Selective, cfg Config) *Selective
 // address model. Values migrate into the new store.
 func (e *Selective) repartition() {
 	e.part = dflow.NewPartitionFromParents(e.parent, e.cfg.FlowCap)
-	e.fg = dflow.NewFlowGraph(e.G, e.part)
+	if e.fg == nil || e.cfg.DenseOff {
+		e.fg = dflow.NewFlowGraph(e.G, e.part)
+	} else {
+		e.fg.Rebuild(e.G, e.part)
+	}
 	var store *layout.Store
 	if e.cfg.ScatteredStorage {
 		store = layout.NewScatteredStore(e.G.NumVertices(), 1)
@@ -117,8 +127,12 @@ func (e *Selective) refreshEdgeIndex() {
 		return
 	}
 	blocked := !e.cfg.ScatteredStorage
-	e.outIdx = layout.NewEdgeIndex(e.G, e.part, blocked)
-	e.inIdx = layout.NewInEdgeIndex(e.G, e.part, blocked)
+	prevOut, prevIn := e.outIdx, e.inIdx
+	if e.cfg.DenseOff {
+		prevOut, prevIn = nil, nil
+	}
+	e.outIdx = layout.NewEdgeIndexInto(prevOut, e.G, e.part, blocked)
+	e.inIdx = layout.NewInEdgeIndexInto(prevIn, e.G, e.part, blocked)
 }
 
 // Value returns v's current converged value.
@@ -166,7 +180,11 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	t0 := time.Now()
 	e.probe.BeginBatch()
 	if e.Alg.Symmetric() {
-		batch = Symmetrize(batch)
+		if e.cfg.DenseOff {
+			batch = Symmetrize(batch)
+		} else {
+			batch = e.symm.Symmetrize(batch)
+		}
 	}
 	if e.cfg.TraceWork {
 		e.trace = newWorkTrace()
@@ -213,7 +231,7 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	for i := range e.trimList {
 		e.trimList[i] = e.trimList[i][:0]
 	}
-	impacted := make(map[int32]bool)
+	impacted := e.impactedScratch(nf)
 	for _, u := range applied {
 		if !u.Del || e.parent[u.Dst] != int32(u.Src) {
 			continue
@@ -226,7 +244,7 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 			e.parent[x] = -1
 			f := e.part.Flow(x)
 			e.trimList[f] = append(e.trimList[f], x)
-			impacted[f] = true
+			impacted.Add(f)
 			st.Trimmed++
 			return true
 		})
@@ -237,11 +255,11 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	tSched := time.Now()
 	var groups []dflow.Group
 	if e.cfg.NoSCCMerge {
-		for f := range impacted {
+		for _, f := range impacted.Members() {
 			groups = append(groups, dflow.Group{Flows: []int32{f}})
 		}
 	} else {
-		groups = dflow.Schedule(e.fg, impacted)
+		groups = dflow.Schedule(e.fg, impacted.Members())
 	}
 	maxLevel := 0
 	for _, g := range groups {
@@ -251,7 +269,7 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	}
 	st.Units = len(groups)
 	st.Levels = maxLevel + 1
-	st.Impacted = len(impacted)
+	st.Impacted = impacted.Len()
 
 	e.units = e.units[:0]
 	if cap(e.unitOf) < nf {
@@ -321,6 +339,13 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	st.Total = time.Since(t0)
 	e.cfg.observe(&st)
 	return st
+}
+
+// impactedScratch hands out the per-batch impacted-flow set (see
+// scratchFlowSet for the -denseoff semantics).
+func (e *Selective) impactedScratch(nf int) *dense.FlowSet {
+	e.impacted = scratchFlowSet(e.impacted, nf, e.cfg.DenseOff)
+	return e.impacted
 }
 
 // activateFlow ensures flow f has a unit and activates it, lazily creating

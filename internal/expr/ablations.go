@@ -19,7 +19,7 @@ func AblationFlowCap(sc Scale) Table {
 	}
 	w := workload("TW", sc, 0.3, 0xA1)
 	for _, cap := range []int{64, 256, 1024, 4096} {
-		e := graphflySelective(w, algo.SSSP{Src: 0}, engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, FlowCap: cap})
+		e := graphflySelective(w, algo.SSSP{Src: 0}, engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, DenseOff: sc.DenseOff, FlowCap: cap})
 		total, _ := runBatches(sc, e, w)
 		t.AddRow(IntCell(cap), Dur(total), IntCell(e.Partition().NumFlows()))
 	}
@@ -36,7 +36,7 @@ func AblationSCC(sc Scale) Table {
 	}
 	w := workload("TW", sc, 0.3, 0xA2)
 	for _, noMerge := range []bool{false, true} {
-		cfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, NoSCCMerge: noMerge}
+		cfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, DenseOff: sc.DenseOff, NoSCCMerge: noMerge}
 		total, stats := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
 		var msgs int64
 		for _, st := range stats {
@@ -63,7 +63,7 @@ func AblationAsync(sc Scale) Table {
 	}
 	w := workload("TW", sc, 0.3, 0xA3)
 	for _, twoPhase := range []bool{false, true} {
-		cfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, TwoPhase: twoPhase}
+		cfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, DenseOff: sc.DenseOff, TwoPhase: twoPhase}
 		total, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
 		mode := "async fused"
 		if twoPhase {
@@ -85,7 +85,7 @@ func AblationTriangle(sc Scale) Table {
 	}
 	w := workload("UK", sc, 0.3, 0xA4)
 	for _, backward := range []bool{false, true} {
-		cfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, BackwardFlows: backward}
+		cfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, DenseOff: sc.DenseOff, BackwardFlows: backward}
 		e := graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfg)
 		total, _ := runBatches(sc, e, w)
 		name := "forward (lower)"
@@ -113,7 +113,7 @@ func AblationFaults(sc Scale) Table {
 	a := algo.SSSP{Src: 0}
 
 	// One traced single-machine run feeds the cost-model column.
-	tCfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, FlowCap: 64, TraceWork: true}
+	tCfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, DenseOff: sc.DenseOff, FlowCap: 64, TraceWork: true}
 	_, tStats := runBatches(sc, graphflySelective(w, a, tCfg), w)
 	traces := make([]*engine.WorkTrace, 0, len(tStats))
 	for _, st := range tStats {

@@ -6,6 +6,7 @@ package expr
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +44,10 @@ type Scale struct {
 	// into the machine-readable perf trajectory (cmd/bench -json). Nil
 	// costs one pointer comparison per batch, like engine.Config.Metrics.
 	Rec *metrics.BatchRecorder `json:"-"`
+	// DenseOff runs every engine with the memory-discipline ablation
+	// (engine.Config.DenseOff): no hub adjacency index and per-batch
+	// scratch allocated fresh — the Fig S2 "before" configuration.
+	DenseOff bool `json:"dense_off,omitempty"`
 }
 
 // registry returns the recorder's backing registry (nil when metrics are
@@ -196,11 +201,23 @@ type incrementalProcessor interface {
 func runBatches(sc Scale, e incrementalProcessor, w gen.Workload) (time.Duration, []engine.BatchStats) {
 	var total time.Duration
 	stats := make([]engine.BatchStats, 0, len(w.Batches))
+	var mem runtime.MemStats
 	for _, b := range w.Batches {
+		var allocs, bytes uint64
+		if sc.Rec != nil {
+			runtime.ReadMemStats(&mem)
+			allocs, bytes = mem.Mallocs, mem.TotalAlloc
+		}
 		st := e.ProcessBatch(b)
 		total += st.Total
 		stats = append(stats, st)
-		sc.Rec.Observe(st.Point())
+		if sc.Rec != nil {
+			p := st.Point()
+			runtime.ReadMemStats(&mem)
+			p.Allocs = int64(mem.Mallocs - allocs)
+			p.AllocBytes = int64(mem.TotalAlloc - bytes)
+			sc.Rec.Observe(p)
+		}
 	}
 	return total, stats
 }

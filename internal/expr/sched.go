@@ -27,7 +27,7 @@ func FigS1(sc Scale) Table {
 	for _, workers := range []int{1, 2, 4, 8} {
 		for _, kind := range []engine.SchedulerKind{engine.SchedWorkStealing, engine.SchedGlobal} {
 			reg := metrics.NewRegistry()
-			cfg := engine.Config{Workers: workers, Scheduler: kind, Metrics: reg}
+			cfg := engine.Config{Workers: workers, Scheduler: kind, Metrics: reg, DenseOff: sc.DenseOff}
 			s, _ := runBatches(sc, graphflySelective(w, algo.SSSP{Src: 0}, cfg), w)
 			p, _ := runBatches(sc, graphflyAccumulative(w, algo.NewPageRank(w.NumV), cfg), w)
 

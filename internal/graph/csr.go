@@ -17,21 +17,31 @@ type CSR struct {
 	InW   []Weight
 }
 
-// ToCSR snapshots the streaming graph. Adjacency within each row preserves
-// the streaming graph's current order (deterministic for a deterministic
-// update sequence).
+// ToCSR snapshots the streaming graph into freshly allocated arrays.
+// Adjacency within each row preserves the streaming graph's current order
+// (deterministic for a deterministic update sequence).
 func (g *Streaming) ToCSR() *CSR {
-	n := g.NumVertices()
-	c := &CSR{
-		N:      n,
-		M:      g.m,
-		OutPtr: make([]int32, n+1),
-		OutDst: make([]VertexID, g.m),
-		OutW:   make([]Weight, g.m),
-		InPtr:  make([]int32, n+1),
-		InSrc:  make([]VertexID, g.m),
-		InW:    make([]Weight, g.m),
+	return g.ToCSRInto(new(CSR))
+}
+
+// ToCSRInto snapshots the streaming graph into c, reusing c's six backing
+// arrays whenever their capacity suffices; per-batch snapshotting with a
+// retained arena is therefore allocation-free at steady state. Aliasing
+// hazard: the returned CSR is c itself, and any slices handed out from a
+// previous snapshot (OutEdges/InEdges) are overwritten — callers must treat
+// the arena's previous contents as dead. A nil c is equivalent to ToCSR.
+func (g *Streaming) ToCSRInto(c *CSR) *CSR {
+	if c == nil {
+		c = new(CSR)
 	}
+	n := g.NumVertices()
+	c.N, c.M = n, g.m
+	c.OutPtr = growInt32(c.OutPtr, n+1)
+	c.OutDst = growUint32(c.OutDst, g.m)
+	c.OutW = growFloat64(c.OutW, g.m)
+	c.InPtr = growInt32(c.InPtr, n+1)
+	c.InSrc = growUint32(c.InSrc, g.m)
+	c.InW = growFloat64(c.InW, g.m)
 	pos := int32(0)
 	for v := 0; v < n; v++ {
 		c.OutPtr[v] = pos
@@ -53,6 +63,29 @@ func (g *Streaming) ToCSR() *CSR {
 	}
 	c.InPtr[n] = pos
 	return c
+}
+
+// growInt32 returns a slice of length n, reusing s's backing array when it
+// is large enough. Contents are not preserved.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growUint32(s []uint32, n int) []uint32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint32, n)
+}
+
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // OutEdges returns the out-neighbour and weight slices of v.

@@ -12,6 +12,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/dense"
 )
 
 // VertexID identifies a vertex. IDs are dense: every ID in [0, NumVertices)
@@ -59,23 +61,59 @@ func (b Batch) Additions() int {
 // Deletions returns the number of deletions in the batch.
 func (b Batch) Deletions() int { return len(b) - b.Additions() }
 
+// HubThreshold is the degree at which a vertex's adjacency list gains a
+// neighbour->position hash index, making HasEdge/AddEdge/DeleteEdge O(1)
+// amortized on that list regardless of skew. Below the threshold a linear
+// scan over a short cache-resident slice is faster than a map probe; 64
+// halves (~1KB of Half entries) is where the scan stops winning on the
+// power-law hubs RMAT/BA produce. The index is dropped again only when the
+// degree falls below HubThreshold/4 (hysteresis, so a hub oscillating
+// around the threshold does not thrash index builds).
+const HubThreshold = 64
+
+// hubDropThreshold is the hysteresis floor: an index is discarded only when
+// the degree shrinks to a quarter of the build threshold.
+const hubDropThreshold = HubThreshold / 4
+
 // Streaming is a mutable directed graph with both out- and in-adjacency,
-// supporting O(degree) edge deletion and O(1) amortized addition.
+// supporting O(1) amortized edge addition, deletion, and lookup: adjacency
+// lists of high-degree (hub) vertices carry an incrementally maintained
+// neighbour->position index, low-degree lists are scanned.
 //
 // Streaming is not safe for concurrent mutation of the same vertex's list;
 // ApplyBatchParallel shards work so each vertex's list is owned by exactly
-// one goroutine.
+// one goroutine (the hub indexes follow the same sharding: out-indexes are
+// touched only by out-list owners, in-indexes only by in-list owners).
 type Streaming struct {
 	out [][]Half
 	in  [][]Half
-	m   int
+	// outIdx[v] / inIdx[v] map a neighbour to its position in out[v] /
+	// in[v]. Non-nil only while v is a hub in that direction.
+	outIdx []map[VertexID]int32
+	inIdx  []map[VertexID]int32
+	m      int
+	noIdx  bool // hub indexing disabled (-denseoff ablation, equivalence tests)
 }
 
 // NewStreaming returns an empty streaming graph with n vertices.
 func NewStreaming(n int) *Streaming {
 	return &Streaming{
-		out: make([][]Half, n),
-		in:  make([][]Half, n),
+		out:    make([][]Half, n),
+		in:     make([][]Half, n),
+		outIdx: make([]map[VertexID]int32, n),
+		inIdx:  make([]map[VertexID]int32, n),
+	}
+}
+
+// DisableHubIndex drops all hub indexes and turns maintenance off, forcing
+// every adjacency operation back to the linear-scan path. It exists for the
+// -denseoff ablation and for equivalence tests; call it before heavy
+// mutation, not concurrently with it.
+func (g *Streaming) DisableHubIndex() {
+	g.noIdx = true
+	for v := range g.outIdx {
+		g.outIdx[v] = nil
+		g.inIdx[v] = nil
 	}
 }
 
@@ -108,23 +146,81 @@ func (g *Streaming) Out(v VertexID) []Half { return g.out[v] }
 // In returns the in-adjacency of v under the same aliasing rules as Out.
 func (g *Streaming) In(v VertexID) []Half { return g.in[v] }
 
+// lookupHalf returns the position of `to` in list, consulting the hub index
+// when one exists, or -1 when absent.
+func lookupHalf(list []Half, idx map[VertexID]int32, to VertexID) int32 {
+	if idx != nil {
+		if p, ok := idx[to]; ok {
+			return p
+		}
+		return -1
+	}
+	for i, h := range list {
+		if h.To == to {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// appendHalf appends h to lists[u] and maintains the hub index: existing
+// indexes learn the new position, and a list crossing HubThreshold gets one
+// built (O(degree) once, amortized O(1) per add).
+func (g *Streaming) appendHalf(lists [][]Half, idxs []map[VertexID]int32, u VertexID, h Half) {
+	lists[u] = append(lists[u], h)
+	l := lists[u]
+	if idx := idxs[u]; idx != nil {
+		idx[h.To] = int32(len(l) - 1)
+	} else if !g.noIdx && len(l) >= HubThreshold {
+		idx = make(map[VertexID]int32, 2*len(l))
+		for i, e := range l {
+			idx[e.To] = int32(i)
+		}
+		idxs[u] = idx
+	}
+}
+
+// removeHalfIdx swap-deletes `to` from lists[u], fixing up the moved
+// entry's index position and dropping the index under hubDropThreshold.
+func (g *Streaming) removeHalfIdx(lists [][]Half, idxs []map[VertexID]int32, u, to VertexID) (Weight, bool) {
+	idx := idxs[u]
+	p := lookupHalf(lists[u], idx, to)
+	if p < 0 {
+		return 0, false
+	}
+	l := lists[u]
+	w := l[p].W
+	last := len(l) - 1
+	moved := l[last]
+	l[p] = moved
+	lists[u] = l[:last]
+	if idx != nil {
+		delete(idx, to)
+		if int(p) != last {
+			idx[moved.To] = p
+		}
+		if last < hubDropThreshold {
+			idxs[u] = nil
+		}
+	}
+	return w, true
+}
+
 // HasEdge reports whether edge src->dst exists and returns its weight.
 func (g *Streaming) HasEdge(src, dst VertexID) (Weight, bool) {
-	for _, h := range g.out[src] {
-		if h.To == dst {
-			return h.W, true
-		}
+	if p := lookupHalf(g.out[src], g.outIdx[src], dst); p >= 0 {
+		return g.out[src][p].W, true
 	}
 	return 0, false
 }
 
 // AddEdge inserts e if absent. It reports whether the edge was inserted.
 func (g *Streaming) AddEdge(e Edge) bool {
-	if _, ok := g.HasEdge(e.Src, e.Dst); ok {
+	if p := lookupHalf(g.out[e.Src], g.outIdx[e.Src], e.Dst); p >= 0 {
 		return false
 	}
-	g.out[e.Src] = append(g.out[e.Src], Half{To: e.Dst, W: e.W})
-	g.in[e.Dst] = append(g.in[e.Dst], Half{To: e.Src, W: e.W})
+	g.appendHalf(g.out, g.outIdx, e.Src, Half{To: e.Dst, W: e.W})
+	g.appendHalf(g.in, g.inIdx, e.Dst, Half{To: e.Src, W: e.W})
 	g.m++
 	return true
 }
@@ -132,28 +228,15 @@ func (g *Streaming) AddEdge(e Edge) bool {
 // DeleteEdge removes src->dst if present. It reports whether an edge was
 // removed and returns its weight.
 func (g *Streaming) DeleteEdge(src, dst VertexID) (Weight, bool) {
-	w, ok := removeHalf(&g.out[src], dst)
+	w, ok := g.removeHalfIdx(g.out, g.outIdx, src, dst)
 	if !ok {
 		return 0, false
 	}
-	if _, ok := removeHalf(&g.in[dst], src); !ok {
+	if _, ok := g.removeHalfIdx(g.in, g.inIdx, dst, src); !ok {
 		panic(fmt.Sprintf("graph: inconsistent adjacency for %d->%d", src, dst))
 	}
 	g.m--
 	return w, true
-}
-
-func removeHalf(list *[]Half, to VertexID) (Weight, bool) {
-	s := *list
-	for i, h := range s {
-		if h.To == to {
-			w := h.W
-			s[i] = s[len(s)-1]
-			*list = s[:len(s)-1]
-			return w, true
-		}
-	}
-	return 0, false
 }
 
 // ApplyBatch applies every update in order, sequentially. Additions of
@@ -181,9 +264,12 @@ func (g *Streaming) ApplyBatch(b Batch) Batch {
 // incremental engines against static recomputation on identical topologies.
 func (g *Streaming) Clone() *Streaming {
 	c := &Streaming{
-		out: make([][]Half, len(g.out)),
-		in:  make([][]Half, len(g.in)),
-		m:   g.m,
+		out:    make([][]Half, len(g.out)),
+		in:     make([][]Half, len(g.in)),
+		outIdx: make([]map[VertexID]int32, len(g.out)),
+		inIdx:  make([]map[VertexID]int32, len(g.in)),
+		m:      g.m,
+		noIdx:  g.noIdx,
 	}
 	for i, l := range g.out {
 		c.out[i] = append([]Half(nil), l...)
@@ -191,6 +277,20 @@ func (g *Streaming) Clone() *Streaming {
 	for i, l := range g.in {
 		c.in[i] = append([]Half(nil), l...)
 	}
+	cloneIdx := func(dst, src []map[VertexID]int32) {
+		for i, m := range src {
+			if m == nil {
+				continue
+			}
+			cp := make(map[VertexID]int32, len(m))
+			for k, v := range m {
+				cp[k] = v
+			}
+			dst[i] = cp
+		}
+	}
+	cloneIdx(c.outIdx, g.outIdx)
+	cloneIdx(c.inIdx, g.inIdx)
 	return c
 }
 
@@ -212,24 +312,29 @@ func (g *Streaming) Edges() []Edge {
 }
 
 // Validate checks internal consistency (every out-edge has a matching
-// in-edge and vice versa, no duplicates) and returns an error describing the
-// first violation. It is O(N + M log M) and intended for tests.
+// in-edge and vice versa, no duplicates, hub indexes agree with the lists)
+// and returns an error describing the first violation. It is O(N + M) in
+// allocations-aside work — one epoch-stamped scratch set serves every
+// vertex instead of a fresh map per vertex — and intended for tests.
 func (g *Streaming) Validate() error {
 	type key struct{ s, d VertexID }
 	fwd := make(map[key]Weight, g.m)
+	seen := dense.NewSet[VertexID](g.NumVertices())
 	n := 0
 	for v := range g.out {
-		seen := make(map[VertexID]bool, len(g.out[v]))
+		seen.Clear()
 		for _, h := range g.out[v] {
 			if int(h.To) >= g.NumVertices() {
 				return fmt.Errorf("out-edge %d->%d exceeds vertex range", v, h.To)
 			}
-			if seen[h.To] {
+			if !seen.Add(h.To) {
 				return fmt.Errorf("duplicate out-edge %d->%d", v, h.To)
 			}
-			seen[h.To] = true
 			fwd[key{VertexID(v), h.To}] = h.W
 			n++
+		}
+		if err := validateIdx(g.out[v], g.outIdx[v], VertexID(v), "out"); err != nil {
+			return err
 		}
 	}
 	if n != g.m {
@@ -237,12 +342,11 @@ func (g *Streaming) Validate() error {
 	}
 	rev := 0
 	for v := range g.in {
-		seen := make(map[VertexID]bool, len(g.in[v]))
+		seen.Clear()
 		for _, h := range g.in[v] {
-			if seen[h.To] {
+			if !seen.Add(h.To) {
 				return fmt.Errorf("duplicate in-edge %d<-%d", v, h.To)
 			}
-			seen[h.To] = true
 			w, ok := fwd[key{h.To, VertexID(v)}]
 			if !ok {
 				return fmt.Errorf("in-edge %d<-%d has no out counterpart", v, h.To)
@@ -252,9 +356,29 @@ func (g *Streaming) Validate() error {
 			}
 			rev++
 		}
+		if err := validateIdx(g.in[v], g.inIdx[v], VertexID(v), "in"); err != nil {
+			return err
+		}
 	}
 	if rev != g.m {
 		return fmt.Errorf("in-edge count mismatch: counted %d, recorded %d", rev, g.m)
+	}
+	return nil
+}
+
+// validateIdx checks that a hub index, when present, is an exact
+// neighbour->position bijection for the list it covers.
+func validateIdx(list []Half, idx map[VertexID]int32, v VertexID, dir string) error {
+	if idx == nil {
+		return nil
+	}
+	if len(idx) != len(list) {
+		return fmt.Errorf("%s-index of %d has %d entries for %d halves", dir, v, len(idx), len(list))
+	}
+	for i, h := range list {
+		if p, ok := idx[h.To]; !ok || p != int32(i) {
+			return fmt.Errorf("%s-index of %d maps %d to %d, list has it at %d", dir, v, h.To, p, i)
+		}
 	}
 	return nil
 }

@@ -44,13 +44,13 @@ func (g *Streaming) ApplyBatchParallel(b Batch, workers int) Batch {
 					continue
 				}
 				if u.Del {
-					if wt, ok := removeHalf(&g.out[u.Src], u.Dst); ok {
+					if wt, ok := g.removeHalfIdx(g.out, g.outIdx, u.Src, u.Dst); ok {
 						took[i] = true
 						weights[i] = wt
 					}
 				} else {
-					if _, exists := halfLookup(g.out[u.Src], u.Dst); !exists {
-						g.out[u.Src] = append(g.out[u.Src], Half{To: u.Dst, W: u.W})
+					if lookupHalf(g.out[u.Src], g.outIdx[u.Src], u.Dst) < 0 {
+						g.appendHalf(g.out, g.outIdx, u.Src, Half{To: u.Dst, W: u.W})
 						took[i] = true
 						weights[i] = u.W
 					}
@@ -69,11 +69,11 @@ func (g *Streaming) ApplyBatchParallel(b Batch, workers int) Batch {
 					continue
 				}
 				if u.Del {
-					if _, ok := removeHalf(&g.in[u.Dst], u.Src); !ok {
+					if _, ok := g.removeHalfIdx(g.in, g.inIdx, u.Dst, u.Src); !ok {
 						panic("graph: in/out adjacency diverged during parallel delete")
 					}
 				} else {
-					g.in[u.Dst] = append(g.in[u.Dst], Half{To: u.Src, W: weights[i]})
+					g.appendHalf(g.in, g.inIdx, u.Dst, Half{To: u.Src, W: weights[i]})
 				}
 			}
 		}(w)
@@ -95,15 +95,6 @@ func (g *Streaming) ApplyBatchParallel(b Batch, workers int) Batch {
 	}
 	g.m += delta
 	return applied
-}
-
-func halfLookup(list []Half, to VertexID) (Weight, bool) {
-	for _, h := range list {
-		if h.To == to {
-			return h.W, true
-		}
-	}
-	return 0, false
 }
 
 // ParallelFor runs fn over [0, n) split into contiguous chunks across the

@@ -41,6 +41,8 @@ type Engine struct {
 	outIdx   *layout.EdgeIndex
 
 	pushes atomic.Int64 // edge-level delta broadcasts (stats)
+
+	symm engine.Symmetrizer // retained symmetrize scratch
 }
 
 // New builds the engine and converges the initial graph with supersteps.
@@ -111,7 +113,7 @@ func (e *Engine) ProcessBatch(batch graph.Batch) engine.BatchStats {
 	t0 := time.Now()
 	e.probe.BeginBatch()
 	if e.Alg.Symmetric() {
-		batch = engine.Symmetrize(batch)
+		batch = e.symm.Symmetrize(batch)
 	}
 
 	tApply := time.Now()

@@ -42,6 +42,8 @@ type Engine struct {
 	inIdx    *layout.EdgeIndex
 
 	inFrontier []uint32 // atomic flags for frontier dedup
+
+	symm engine.Symmetrizer // retained symmetrize scratch
 }
 
 // New builds the engine and computes the initial graph statically,
@@ -110,7 +112,7 @@ func (e *Engine) ProcessBatch(batch graph.Batch) engine.BatchStats {
 	t0 := time.Now()
 	e.probe.BeginBatch()
 	if e.Alg.Symmetric() {
-		batch = engine.Symmetrize(batch)
+		batch = e.symm.Symmetrize(batch)
 	}
 
 	tApply := time.Now()

@@ -173,18 +173,39 @@ const edgeSlotBytes = 16
 // NewEdgeIndex builds the out-adjacency address model for g. part may be
 // nil in scattered mode.
 func NewEdgeIndex(g *graph.Streaming, part *dflow.Partition, flowBlocked bool) *EdgeIndex {
-	return newEdgeIndex(g, part, flowBlocked, EdgeRegion, func(v graph.VertexID) int { return g.OutDegree(v) })
+	return NewEdgeIndexInto(nil, g, part, flowBlocked)
+}
+
+// NewEdgeIndexInto is NewEdgeIndex rebuilding into prev's storage when its
+// capacity suffices (nil prev allocates). Engines refresh the model after
+// every batch; reuse makes that refresh allocation-free at steady state.
+func NewEdgeIndexInto(prev *EdgeIndex, g *graph.Streaming, part *dflow.Partition, flowBlocked bool) *EdgeIndex {
+	return newEdgeIndex(prev, g, part, flowBlocked, EdgeRegion, func(v graph.VertexID) int { return g.OutDegree(v) })
 }
 
 // NewInEdgeIndex builds the in-adjacency address model (selective
 // refinement pulls over in-edges, which live in their own array).
 func NewInEdgeIndex(g *graph.Streaming, part *dflow.Partition, flowBlocked bool) *EdgeIndex {
-	return newEdgeIndex(g, part, flowBlocked, InEdgeRegion, func(v graph.VertexID) int { return g.InDegree(v) })
+	return NewInEdgeIndexInto(nil, g, part, flowBlocked)
 }
 
-func newEdgeIndex(g *graph.Streaming, part *dflow.Partition, flowBlocked bool, region uint64, degree func(graph.VertexID) int) *EdgeIndex {
+// NewInEdgeIndexInto is NewInEdgeIndex with prev's storage reused.
+func NewInEdgeIndexInto(prev *EdgeIndex, g *graph.Streaming, part *dflow.Partition, flowBlocked bool) *EdgeIndex {
+	return newEdgeIndex(prev, g, part, flowBlocked, InEdgeRegion, func(v graph.VertexID) int { return g.InDegree(v) })
+}
+
+func newEdgeIndex(prev *EdgeIndex, g *graph.Streaming, part *dflow.Partition, flowBlocked bool, region uint64, degree func(graph.VertexID) int) *EdgeIndex {
 	n := g.NumVertices()
-	e := &EdgeIndex{base: make([]int64, n), region: region}
+	e := prev
+	if e == nil {
+		e = &EdgeIndex{}
+	}
+	e.region = region
+	if cap(e.base) >= n {
+		e.base = e.base[:n]
+	} else {
+		e.base = make([]int64, n)
+	}
 	var next int64
 	if flowBlocked && part != nil {
 		for f := int32(0); int(f) < part.NumFlows(); f++ {

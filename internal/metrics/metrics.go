@@ -305,6 +305,11 @@ type BatchPoint struct {
 	ComputeNs  int64 `json:"compute_ns"`
 	TotalNs    int64 `json:"total_ns"`
 	Applied    int   `json:"applied"`
+	// Allocs/AllocBytes are the heap allocation deltas
+	// (runtime.ReadMemStats Mallocs/TotalAlloc) the harness measured
+	// around this batch; zero when the run doesn't sample memory.
+	Allocs     int64 `json:"allocs,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 }
 
 // PhaseNames are the per-batch phases a BatchPoint decomposes, in
@@ -361,6 +366,10 @@ func (r *BatchRecorder) Observe(p BatchPoint) {
 	r.reg.Histogram("batch.total_ns").Observe(p.TotalNs)
 	r.reg.Counter("batch.count").Inc()
 	r.reg.Counter("updates.applied").Add(int64(p.Applied))
+	if p.Allocs > 0 || p.AllocBytes > 0 {
+		r.reg.Histogram("batch.allocs").Observe(p.Allocs)
+		r.reg.Histogram("batch.alloc_bytes").Observe(p.AllocBytes)
+	}
 }
 
 // Points returns a copy of the recorded sequence.

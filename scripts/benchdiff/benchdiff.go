@@ -5,11 +5,17 @@
 //
 //	go run ./scripts/benchdiff -check BENCH_graphfly.json
 //	go run ./scripts/benchdiff old.json new.json
+//	go run ./scripts/benchdiff -allocgate BENCH_graphfly.json new.json
 //
 // With -check, the report is parsed and schema-validated (CI's bench-smoke
 // gate). With two files, figures are matched by ID and rows by their label
 // cells, and every numeric column is printed as old -> new with a relative
-// delta; environment mismatches are called out, not hidden.
+// delta; environment mismatches are called out, not hidden. With
+// -allocgate, the two-file diff additionally compares mean allocs/batch
+// and alloc-bytes/batch (the runtime.ReadMemStats deltas cmd/bench -json
+// samples) and exits nonzero when the new report's allocation rate grew
+// more than -allocslack over the old one — the CI allocation-regression
+// gate for the zero-allocation batch path.
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 
 func main() {
 	check := flag.String("check", "", "validate this report and exit")
+	allocGate := flag.Bool("allocgate", false, "fail when new.json's mean allocs/batch or bytes/batch grew more than -allocslack over old.json's")
+	allocSlack := flag.Float64("allocslack", 0.10, "tolerated relative allocation growth for -allocgate")
 	flag.Parse()
 
 	if *check != "" {
@@ -80,6 +88,53 @@ func main() {
 		}
 	}
 	diffBatchLatency(oldR, newR)
+	if *allocGate {
+		if err := gateAllocs(oldR, newR, *allocSlack); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// meanAllocs averages the sampled allocation deltas across a report's
+// batches. Batches without samples (reports from runs that predate the
+// alloc fields, or engines driven without -json) are skipped.
+func meanAllocs(r expr.Report) (allocs, bytes float64, n int) {
+	for _, b := range r.Batches {
+		if b.Allocs == 0 && b.AllocBytes == 0 {
+			continue
+		}
+		allocs += float64(b.Allocs)
+		bytes += float64(b.AllocBytes)
+		n++
+	}
+	if n > 0 {
+		allocs /= float64(n)
+		bytes /= float64(n)
+	}
+	return allocs, bytes, n
+}
+
+// gateAllocs enforces the allocation-regression budget: the new report's
+// mean allocs/batch and bytes/batch must not exceed the old report's by
+// more than slack (relative).
+func gateAllocs(oldR, newR expr.Report, slack float64) error {
+	oa, ob, on := meanAllocs(oldR)
+	na, nb, nn := meanAllocs(newR)
+	if on == 0 || nn == 0 {
+		return fmt.Errorf("allocgate: no sampled batches (old %d, new %d); run cmd/bench with -json", on, nn)
+	}
+	fmt.Printf("== alloc gate (slack %.0f%%) ==\n", 100*slack)
+	fmt.Printf("  allocs/batch %.0f -> %.0f (%s); bytes/batch %.0f -> %.0f (%s)\n",
+		oa, na, relDelta(oa, na), ob, nb, relDelta(ob, nb))
+	if na > oa*(1+slack) {
+		return fmt.Errorf("allocgate: allocs/batch grew %.0f -> %.0f (> %.0f%% budget)", oa, na, 100*slack)
+	}
+	if nb > ob*(1+slack) {
+		return fmt.Errorf("allocgate: alloc bytes/batch grew %.0f -> %.0f (> %.0f%% budget)", ob, nb, 100*slack)
+	}
+	fmt.Println("  within budget")
+	return nil
 }
 
 func load(path string) (expr.Report, error) {

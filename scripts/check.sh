@@ -34,4 +34,7 @@ go run ./cmd/bench -json -fig 11 -edgecap 4000 -batch 300 -batches 2 \
     -out "$benchtmp/BENCH_graphfly.json" > /dev/null
 go run ./scripts/benchdiff -check "$benchtmp/BENCH_graphfly.json"
 
+echo "== alloc gate (fresh smoke vs committed BENCH_graphfly.json) =="
+go run ./scripts/benchdiff -allocgate BENCH_graphfly.json "$benchtmp/BENCH_graphfly.json"
+
 echo "OK"
