@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/prof"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -45,6 +47,10 @@ func main() {
 	outputFile := flag.String("outputFile", "", "write the converged values here ('-' = stdout)")
 	graphPath := flag.String("graphPath", "", "load the initial graph from an edge-tuple file instead of generating it")
 	streamPath := flag.String("streamPath", "", "load the update stream from a stream file instead of sampling it")
+	walOn := flag.Bool("wal", false, "write-ahead log every batch and snapshot periodically (selective algorithms, single node); with an existing -waldir, recover from it first")
+	walDir := flag.String("waldir", "", "directory for WAL segments and snapshots (required with -wal)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval | always | off")
+	snapEvery := flag.Int("snapshot-every", 16, "batches between snapshot checkpoints in -wal mode")
 	nodes := flag.Int("nodes", 0, "run the distributed cluster simulation over this many worker nodes (selective algorithms only)")
 	faults := flag.String("faults", "", "fault injection spec for -nodes mode, e.g. seed=7,drop=0.05,crash=0.01,crashat=1:3:0 (keys: seed drop dup delay reorder maxdelay crash maxcrashes crashat detect retrans ckpt maxrounds norejoin)")
 	showMetrics := flag.Bool("metrics", false, "print engine counters and phase histograms at exit")
@@ -59,6 +65,25 @@ func main() {
 		os.Exit(1)
 	}
 	defer profStop()
+
+	fsyncPolicy, ok := wal.ParseFsync(*fsync)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "graphfly: unknown fsync policy %q (want interval, always, or off)\n", *fsync)
+		os.Exit(2)
+	}
+	if *walOn {
+		switch {
+		case *walDir == "":
+			fmt.Fprintln(os.Stderr, "graphfly: -wal requires -waldir")
+			os.Exit(2)
+		case *nodes > 1:
+			fmt.Fprintln(os.Stderr, "graphfly: -wal is single-node only (the distributed runtime checkpoints through dist.SaveCheckpoint)")
+			os.Exit(2)
+		case *snapEvery < 1:
+			fmt.Fprintln(os.Stderr, "graphfly: -snapshot-every must be >= 1")
+			os.Exit(2)
+		}
+	}
 
 	var fcfg dist.FaultConfig
 	if *faults != "" {
@@ -124,6 +149,7 @@ func main() {
 		values  func() []float64
 		run     func(graph.Batch) (engine.BatchStats, error)
 		cluster *dist.Cluster
+		durable *wal.DurableSelective
 		dim     = 1
 	)
 	src := graph.VertexID(*source)
@@ -149,10 +175,44 @@ func main() {
 			initial = both
 		}
 		g := graph.FromEdges(w.NumV, initial)
-		if *nodes > 1 {
+		switch {
+		case *nodes > 1:
 			cluster = dist.NewClusterWithFaults(g, a, *nodes, *flowCap, fcfg)
 			values = cluster.Values
-		} else {
+		case *walOn:
+			if err := os.MkdirAll(*walDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "graphfly: %v\n", err)
+				os.Exit(1)
+			}
+			dc := wal.DurableConfig{
+				Wal:           wal.Options{Dir: *walDir, Policy: fsyncPolicy, Metrics: reg},
+				SnapshotEvery: *snapEvery,
+			}
+			if wal.HasSnapshot(*walDir) {
+				// An existing log wins over the generated initial graph: the
+				// stream continues from the recovered state.
+				var rs wal.RecoveryStats
+				var err error
+				durable, rs, err = wal.RecoverSelective(a, eCfg, dc)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "graphfly: recovery from %s failed: %v\n", *walDir, err)
+					os.Exit(1)
+				}
+				fmt.Printf("recovered %s: snapshot seq %d, replayed %d batches to seq %d in %v\n",
+					*walDir, rs.SnapshotSeq, rs.Replayed, rs.LastSeq, rs.Duration)
+			} else {
+				var err error
+				durable, err = wal.NewDurableSelective(g, a, eCfg, dc)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "graphfly: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			values = durable.Eng.Values
+			run = func(b graph.Batch) (engine.BatchStats, error) {
+				return durable.ProcessBatch(context.Background(), b)
+			}
+		default:
 			eng := engine.NewSelective(g, a, eCfg)
 			values = eng.Values
 			run = eng.ProcessBatchE
@@ -180,6 +240,10 @@ func main() {
 		}
 		if *nodes > 1 {
 			fmt.Fprintf(os.Stderr, "graphfly: -nodes supports the selective algorithms only (%s is accumulative)\n", *algoName)
+			os.Exit(2)
+		}
+		if *walOn {
+			fmt.Fprintf(os.Stderr, "graphfly: -wal supports the selective algorithms only (%s is accumulative)\n", *algoName)
 			os.Exit(2)
 		}
 		g := graph.FromEdges(w.NumV, w.Initial)
@@ -216,6 +280,14 @@ func main() {
 		}
 		fmt.Printf("batch %d: applied=%d trimmed=%d flows=%d units=%d levels=%d msgs=%d relax=%d time=%v\n",
 			bi, st.Applied, st.Trimmed, st.Impacted, st.Units, st.Levels, st.CrossMsgs, st.Relaxations, st.Total)
+	}
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "graphfly: wal close: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wal: %s durable through seq %d (fsync=%s, snapshot every %d)\n",
+			*walDir, durable.Seq(), fsyncPolicy, *snapEvery)
 	}
 	if cluster != nil && fcfg.Enabled() {
 		s := cluster.Stats

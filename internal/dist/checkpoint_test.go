@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// buildCheckpointedCluster runs a couple of batches with CheckpointEvery=1
+// so the Manager holds a fresh committed checkpoint.
+func buildCheckpointedCluster(t *testing.T) *Cluster {
+	t.Helper()
+	w := clusterWorkload(909, 2)
+	g := graph.FromEdges(w.NumV, w.Initial)
+	c := NewClusterWithFaults(g, algo.SSSP{Src: 0}, 3, 0, FaultConfig{CheckpointEvery: 1})
+	for _, b := range w.Batches {
+		c.ProcessBatch(b)
+	}
+	if len(c.ckpt.vals) == 0 {
+		t.Fatal("no checkpoint committed")
+	}
+	return c
+}
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	c := buildCheckpointedCluster(t)
+	path := filepath.Join(t.TempDir(), "dist.ckpt")
+	if err := c.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	vals, parent, err := LoadCheckpoint(path, len(c.parent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range vals {
+		if vals[v] != c.ckpt.vals[v] || parent[v] != c.ckpt.parent[v] {
+			t.Fatalf("vertex %d differs after round trip", v)
+		}
+	}
+	// RestoreCheckpoint installs it as the committed checkpoint.
+	c2 := buildCheckpointedCluster(t)
+	c2.ckpt.vals[0]++ // drift, then restore over it
+	if err := c2.RestoreCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if c2.ckpt.vals[0] != vals[0] {
+		t.Fatal("restore did not install the saved state")
+	}
+}
+
+// TestCheckpointLoadRejectsCorruption is the regression for the hardening:
+// truncations and bit flips anywhere in the file must produce an error —
+// never a panic, never silently loaded garbage.
+func TestCheckpointLoadRejectsCorruption(t *testing.T) {
+	c := buildCheckpointedCluster(t)
+	path := filepath.Join(t.TempDir(), "dist.ckpt")
+	if err := c.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numV := len(c.parent)
+
+	// Every truncation point.
+	for cut := 0; cut < len(orig); cut += 1 + len(orig)/199 {
+		if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadCheckpoint(path, numV); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(orig))
+		}
+	}
+	// Seeded random bit flips across the whole file, including the header.
+	r := rng.New(4242)
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), orig...)
+		mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadCheckpoint(path, numV); err == nil {
+			t.Fatalf("bit flip %d accepted", i)
+		}
+	}
+	// Wrong vertex count must also be rejected even on a pristine file.
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(path, numV+1); err == nil {
+		t.Fatal("vertex-count mismatch accepted")
+	}
+	// Trailing garbage after the frame is refused.
+	if err := os.WriteFile(path, append(append([]byte(nil), orig...), 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(path, numV); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

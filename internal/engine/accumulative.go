@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,8 @@ type Accumulative struct {
 	pushes    atomic.Int64
 	crossMsgs atomic.Int64
 
+	canceled bool // a batch was aborted mid-flight; state is inconsistent
+
 	trace   *WorkTrace
 	traceMu sync.Mutex
 }
@@ -114,7 +117,7 @@ func NewAccumulative(g *graph.Streaming, alg algo.Accumulative, cfg Config) *Acc
 		e.seeds[f] = append(e.seeds[f], uint32(v))
 		impacted.Add(f)
 	}
-	e.converge(impacted.Members())
+	e.converge(context.Background(), impacted.Members())
 	return e
 }
 
@@ -203,13 +206,32 @@ func (e *Accumulative) ProcessBatch(batch graph.Batch) BatchStats {
 // *graph.BatchError without mutating any engine state, so a caller fed by
 // an untrusted source can drop the bad batch and keep going.
 func (e *Accumulative) ProcessBatchE(batch graph.Batch) (BatchStats, error) {
+	return e.ProcessBatchCtx(context.Background(), batch)
+}
+
+// ProcessBatchCtx is ProcessBatchE with cancellation, mirroring
+// (*Selective).ProcessBatchCtx: cancellation drains the scheduler after its
+// in-flight units, the call returns ctx's error, and the engine is left
+// mid-refinement — later calls fail with ErrCanceled until it is rebuilt.
+func (e *Accumulative) ProcessBatchCtx(ctx context.Context, batch graph.Batch) (BatchStats, error) {
+	if e.canceled {
+		return BatchStats{}, ErrCanceled
+	}
+	if err := ctx.Err(); err != nil {
+		return BatchStats{}, err
+	}
 	if err := e.G.CheckBatch(batch); err != nil {
 		return BatchStats{}, err
 	}
-	return e.processBatch(batch), nil
+	st := e.processBatch(ctx, batch)
+	if err := ctx.Err(); err != nil {
+		e.canceled = true
+		return st, err
+	}
+	return st, nil
 }
 
-func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
+func (e *Accumulative) processBatch(ctx context.Context, batch graph.Batch) BatchStats {
 	var st BatchStats
 	t0 := time.Now()
 	e.probe.BeginBatch()
@@ -319,7 +341,7 @@ func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 
 	tComp := time.Now()
 	st.Impacted = impacted.Len()
-	units, levels := e.converge(impacted.Members())
+	units, levels := e.converge(ctx, impacted.Members())
 	st.Units = units
 	st.Levels = levels
 	st.ComputeTime = time.Since(tComp)
@@ -334,9 +356,10 @@ func (e *Accumulative) processBatch(batch graph.Batch) BatchStats {
 	return st
 }
 
-// converge schedules the impacted flows and runs delta-push to quiescence.
-// It returns the number of scheduled units and levels.
-func (e *Accumulative) converge(impacted []int32) (int, int) {
+// converge schedules the impacted flows and runs delta-push to quiescence
+// (or until ctx cancels). It returns the number of scheduled units and
+// levels.
+func (e *Accumulative) converge(ctx context.Context, impacted []int32) (int, int) {
 	var groups []dflow.Group
 	if e.cfg.NoSCCMerge {
 		for _, f := range impacted {
@@ -394,12 +417,14 @@ func (e *Accumulative) converge(impacted []int32) (int, int) {
 	// the faithful barrier-per-superstep baseline is internal/graphbolt.
 	workerPool := make([]*accWorker, e.cfg.workers())
 	var batchBufs = make([][][]uint32, e.cfg.workers())
+	stopWatch := watchCancel(ctx, e.pl)
 	e.pl.run(e.cfg.workers(), func(w int, u *unit) {
 		if workerPool[w] == nil {
 			workerPool[w] = e.newWorker()
 		}
 		batchBufs[w] = workerPool[w].processUnit(u, batchBufs[w])
 	})
+	stopWatch()
 	return len(groups), maxLevel + 1
 }
 

@@ -72,6 +72,7 @@ type pool struct {
 	cond        *sync.Cond
 	queue       unitHeap
 	outstanding int // units not idle
+	stopped     bool
 	seq         int64
 
 	dispatches int64
@@ -128,12 +129,12 @@ func (p *pool) run(workers int, fn func(w int, u *unit)) {
 			defer wg.Done()
 			for {
 				p.mu.Lock()
-				for len(p.queue) == 0 && p.outstanding > 0 {
+				for len(p.queue) == 0 && p.outstanding > 0 && !p.stopped {
 					p.parks++
 					p.cond.Wait()
 				}
-				if len(p.queue) == 0 {
-					// outstanding == 0: globally quiescent.
+				if p.stopped || len(p.queue) == 0 {
+					// Quiescent (outstanding == 0) or interrupted.
 					p.mu.Unlock()
 					p.cond.Broadcast()
 					return
@@ -175,6 +176,15 @@ func (p *pool) run(workers int, fn func(w int, u *unit)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// interrupt abandons queued and pending units and wakes every waiter so
+// run's workers drain out after their current unit.
+func (p *pool) interrupt() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 func (p *pool) stats() schedStats {

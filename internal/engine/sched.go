@@ -1,6 +1,36 @@
 package engine
 
-import "repro/internal/metrics"
+import (
+	"context"
+	"errors"
+
+	"repro/internal/metrics"
+)
+
+// ErrCanceled reports a ProcessBatchCtx call on an engine whose earlier
+// batch was aborted by context cancellation: the in-memory state is
+// mid-refinement and must be rebuilt (or recovered from a WAL+snapshot)
+// before processing can continue.
+var ErrCanceled = errors.New("engine: prior batch canceled; state requires recovery")
+
+// watchCancel arranges for pl to be interrupted when ctx is canceled. The
+// returned stop function must be called once the run completes; a late
+// interrupt on an already-finished scheduler is harmless (schedulers are
+// per-batch), so the watcher needs no further synchronization.
+func watchCancel(ctx context.Context, pl scheduler) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			pl.interrupt()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
 
 // scheduler runs scheduling units (single flows or merged cyclic groups) to
 // global quiescence. Both implementations share the unit state machine
@@ -14,6 +44,11 @@ import "repro/internal/metrics"
 type scheduler interface {
 	activate(u *unit)
 	run(workers int, fn func(w int, u *unit))
+	// interrupt makes run return as soon as every in-flight unit callback
+	// finishes, abandoning queued and pending units. Safe from any
+	// goroutine, idempotent, and permanent for this scheduler instance —
+	// it is how context cancellation reaches a wedged batch.
+	interrupt()
 	stats() schedStats
 }
 

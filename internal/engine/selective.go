@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +61,8 @@ type Selective struct {
 	pulls       atomic.Int64
 	crossMsgs   atomic.Int64
 
+	canceled bool // a batch was aborted mid-flight; state is inconsistent
+
 	trace   *WorkTrace
 	traceMu sync.Mutex
 }
@@ -95,6 +99,43 @@ func NewSelective(g *graph.Streaming, alg algo.Selective, cfg Config) *Selective
 		e.vals.Set(uint32(v), x)
 	}
 	return e
+}
+
+// NewSelectiveFromState rebuilds an engine from a snapshot (vals, parent)
+// taken by SnapshotState over an identical graph, skipping the from-scratch
+// static solve: the restored values are GraphFly's floored refinement state,
+// so subsequent batches reconverge incrementally exactly as if the engine
+// had never stopped. This is the recovery entry point internal/wal uses.
+func NewSelectiveFromState(g *graph.Streaming, alg algo.Selective, cfg Config, vals []float64, parent []int32) (*Selective, error) {
+	n := g.NumVertices()
+	if len(vals) != n || len(parent) != n {
+		return nil, fmt.Errorf("engine: state for %d/%d vertices, graph has %d", len(vals), len(parent), n)
+	}
+	e := &Selective{
+		G:     g,
+		Alg:   alg,
+		cfg:   cfg,
+		probe: cfg.probe(),
+		kf:    etree.NewKeyForest(n),
+	}
+	if cfg.DenseOff {
+		g.DisableHubIndex()
+	}
+	_, e.profiled = e.probe.(*cachesim.Sim)
+	e.parent = append([]int32(nil), parent...)
+	e.trimmed = newFlags(n)
+	e.repartition()
+	for v, x := range vals {
+		e.vals.Set(uint32(v), x)
+	}
+	return e, nil
+}
+
+// SnapshotState copies the converged per-vertex values and key-edge parents
+// — everything NewSelectiveFromState needs besides the graph itself. Call
+// it only between batches (the engine is not processing).
+func (e *Selective) SnapshotState() (vals []float64, parent []int32) {
+	return e.Values(), append([]int32(nil), e.parent...)
 }
 
 // repartition rebuilds flows from the current key-edge forest, the flow
@@ -169,13 +210,33 @@ func (e *Selective) ProcessBatch(batch graph.Batch) BatchStats {
 // *graph.BatchError without mutating any engine state, so a caller fed by
 // an untrusted source can drop the bad batch and keep going.
 func (e *Selective) ProcessBatchE(batch graph.Batch) (BatchStats, error) {
+	return e.ProcessBatchCtx(context.Background(), batch)
+}
+
+// ProcessBatchCtx is ProcessBatchE with cancellation: when ctx is canceled
+// mid-batch the schedulers drain out after their in-flight units and the
+// call returns ctx's error. A canceled batch leaves the engine mid-refinement
+// — inconsistent by design — so every later call fails with ErrCanceled;
+// recover by rebuilding the engine (wal.Recover replays a durable log).
+func (e *Selective) ProcessBatchCtx(ctx context.Context, batch graph.Batch) (BatchStats, error) {
+	if e.canceled {
+		return BatchStats{}, ErrCanceled
+	}
+	if err := ctx.Err(); err != nil {
+		return BatchStats{}, err
+	}
 	if err := e.G.CheckBatch(batch); err != nil {
 		return BatchStats{}, err
 	}
-	return e.processBatch(batch), nil
+	st := e.processBatch(ctx, batch)
+	if err := ctx.Err(); err != nil {
+		e.canceled = true
+		return st, err
+	}
+	return st, nil
 }
 
-func (e *Selective) processBatch(batch graph.Batch) BatchStats {
+func (e *Selective) processBatch(ctx context.Context, batch graph.Batch) BatchStats {
 	var st BatchStats
 	t0 := time.Now()
 	e.probe.BeginBatch()
@@ -323,11 +384,13 @@ func (e *Selective) processBatch(batch graph.Batch) BatchStats {
 	e.relaxations.Store(0)
 	e.pulls.Store(0)
 	e.crossMsgs.Store(0)
+	stopWatch := watchCancel(ctx, e.pl)
 	if e.cfg.TwoPhase {
 		e.runTwoPhase()
 	} else {
 		e.runAsync()
 	}
+	stopWatch()
 	st.ComputeTime = time.Since(tComp)
 	st.Relaxations = e.relaxations.Load()
 	st.Pulls = e.pulls.Load()

@@ -99,6 +99,8 @@ type wsPool struct {
 	// quiescence condition is outstanding == 0, replacing the global pool's
 	// condvar broadcast.
 	outstanding atomic.Int64
+	// stopped makes workers drain out after their current unit (interrupt).
+	stopped atomic.Bool
 
 	dispatches atomic.Int64
 	steals     atomic.Int64
@@ -226,6 +228,9 @@ func (p *wsPool) run(workers int, fn func(w int, u *unit)) {
 			defer wg.Done()
 			spins := 0
 			for {
+				if p.stopped.Load() {
+					return // interrupted
+				}
 				u := p.next(w)
 				if u == nil {
 					if p.outstanding.Load() == 0 {
@@ -249,6 +254,10 @@ func (p *wsPool) run(workers int, fn func(w int, u *unit)) {
 	}
 	wg.Wait()
 }
+
+// interrupt abandons queued and pending units; each worker exits before
+// dispatching its next unit.
+func (p *wsPool) interrupt() { p.stopped.Store(true) }
 
 func (p *wsPool) stats() schedStats {
 	return schedStats{

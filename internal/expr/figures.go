@@ -438,7 +438,7 @@ func All(sc Scale) []Table {
 	return []Table{
 		Table1(sc), Fig4a(sc), Fig4b(sc), Fig11(sc), Fig12(sc), Fig13(sc),
 		Fig14a(sc), Fig14b(sc), Fig15a(sc), Fig15b(sc), Fig16(sc), Fig17(sc),
-		FigS1(sc), FigS2(sc),
+		FigS1(sc), FigS2(sc), FigS3(sc),
 	}
 }
 
@@ -474,6 +474,8 @@ func ByID(id string) (func(Scale) Table, bool) {
 		return FigS1, true
 	case "s2", "ingest":
 		return FigS2, true
+	case "s3", "durability":
+		return FigS3, true
 	}
 	return nil, false
 }

@@ -294,20 +294,29 @@ func (g *Streaming) Clone() *Streaming {
 	return c
 }
 
-// Edges returns all edges in deterministic (src, dst) order.
+// Edges returns all edges in deterministic (src, dst) order. The outer
+// loop already groups edges by ascending source, so only each vertex's
+// span needs ordering — insertion sort on the typically tiny spans instead
+// of one reflective sort over the whole edge list (the difference is
+// visible in the snapshot path, which calls this per checkpoint).
 func (g *Streaming) Edges() []Edge {
 	es := make([]Edge, 0, g.m)
 	for v := range g.out {
+		start := len(es)
 		for _, h := range g.out[v] {
 			es = append(es, Edge{Src: VertexID(v), Dst: h.To, W: h.W})
 		}
-	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Src != es[j].Src {
-			return es[i].Src < es[j].Src
+		span := es[start:]
+		if len(span) > 32 {
+			sort.Slice(span, func(i, j int) bool { return span[i].Dst < span[j].Dst })
+			continue
 		}
-		return es[i].Dst < es[j].Dst
-	})
+		for i := 1; i < len(span); i++ {
+			for j := i; j > 0 && span[j].Dst < span[j-1].Dst; j-- {
+				span[j], span[j-1] = span[j-1], span[j]
+			}
+		}
+	}
 	return es
 }
 

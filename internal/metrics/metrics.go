@@ -341,6 +341,7 @@ type BatchRecorder struct {
 	mu     sync.Mutex
 	points []BatchPoint
 	reg    *Registry
+	closed bool
 }
 
 // NewBatchRecorder returns a recorder feeding reg (which may be nil; the
@@ -349,12 +350,17 @@ func NewBatchRecorder(reg *Registry) *BatchRecorder {
 	return &BatchRecorder{reg: reg}
 }
 
-// Observe records one batch. Safe on a nil recorder.
+// Observe records one batch. Safe on a nil recorder; a point observed
+// after Close is dropped rather than corrupting the sealed trajectory.
 func (r *BatchRecorder) Observe(p BatchPoint) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
 	r.points = append(r.points, p)
 	r.mu.Unlock()
 	if r.reg == nil {
@@ -370,6 +376,30 @@ func (r *BatchRecorder) Observe(p BatchPoint) {
 		r.reg.Histogram("batch.allocs").Observe(p.Allocs)
 		r.reg.Histogram("batch.alloc_bytes").Observe(p.AllocBytes)
 	}
+}
+
+// Close seals the recorder: the point sequence becomes immutable and later
+// Observe calls are dropped. Idempotent — closing twice (the report writer
+// and a deferred cleanup both flushing) is safe and returns nil both times.
+// Points and PhaseSnapshots keep working after Close. Safe on nil.
+func (r *BatchRecorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return nil
+}
+
+// Closed reports whether the recorder has been sealed.
+func (r *BatchRecorder) Closed() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
 }
 
 // Points returns a copy of the recorded sequence.

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// Error-path behavior of BatchRecorder's lifecycle: Close is idempotent,
+// Observe after Close is dropped (not recorded, not fed to the registry),
+// and reads keep working on a sealed recorder.
+
+func TestBatchRecorderCloseIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	r := NewBatchRecorder(reg)
+	r.Observe(BatchPoint{TotalNs: 10, Applied: 1})
+	if err := r.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if got := len(r.Points()); got != 1 {
+		t.Fatalf("points after double close: %d", got)
+	}
+}
+
+func TestBatchRecorderObserveAfterClose(t *testing.T) {
+	reg := NewRegistry()
+	r := NewBatchRecorder(reg)
+	r.Observe(BatchPoint{TotalNs: 10, Applied: 2})
+	r.Close()
+	r.Observe(BatchPoint{TotalNs: 99, Applied: 7}) // must be dropped
+	if got := len(r.Points()); got != 1 {
+		t.Fatalf("sealed recorder grew to %d points", got)
+	}
+	if got := reg.Counter("batch.count").Value(); got != 1 {
+		t.Fatalf("registry saw %d batches, want 1", got)
+	}
+	if got := reg.Counter("updates.applied").Value(); got != 2 {
+		t.Fatalf("registry saw %d applied updates, want 2", got)
+	}
+	// Reads still work after sealing.
+	phases, total := r.PhaseSnapshots()
+	if len(phases) == 0 || total.Count != 1 {
+		t.Fatalf("sealed reads broken: %d phases, total count %d", len(phases), total.Count)
+	}
+}
+
+func TestBatchRecorderCloseOnNil(t *testing.T) {
+	var r *BatchRecorder
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Closed() {
+		t.Fatal("nil recorder reports closed")
+	}
+	r.Observe(BatchPoint{}) // must not panic
+}
+
+// Concurrent observers racing a Close must never corrupt the sequence: the
+// recorder ends with only points observed before the seal won the lock.
+func TestBatchRecorderConcurrentClose(t *testing.T) {
+	r := NewBatchRecorder(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Observe(BatchPoint{TotalNs: int64(i)})
+			}
+		}()
+	}
+	r.Close()
+	wg.Wait()
+	n := len(r.Points())
+	if n > 800 {
+		t.Fatalf("recorded %d points", n)
+	}
+	if r.Observe(BatchPoint{}); len(r.Points()) != n {
+		t.Fatal("sealed recorder still grows")
+	}
+}

@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// The crash-point fuzzer (DESIGN.md §4.9). A first pass counts every
+// durability-critical site the workload reaches (append.write, append.sync,
+// rotate.create, snapshot.write/sync/rename/remove, truncate.remove); then
+// one scenario per site re-runs the workload and dies exactly there —
+// optionally tearing the in-flight write — and recovery must restore a
+// state equal to the from-scratch oracle over the surviving prefix, with
+// every surviving batch replayed exactly once. Corruption scenarios flip
+// bits and truncate log and snapshot files behind a finished run and assert
+// the same. Everything is seeded: a failure message reproduces the run.
+
+// crashPlan is the injection schedule for one scenario.
+type crashPlan struct {
+	at    int // die at the at-th site reached (1-based; 0 = never)
+	tear  int // bytes of the pending write to let through (-1 = none)
+	count int // sites reached so far
+	fired string
+}
+
+func (p *crashPlan) hook(site string) error {
+	p.count++
+	if p.count == p.at {
+		p.fired = site
+		return &crashError{Site: site, Tear: p.tear}
+	}
+	return nil
+}
+
+// crashConfig is the fixed fuzzing workload: small enough that a scenario
+// (static solve + 8 batches + recovery + 2 oracle solves) stays in the low
+// milliseconds even under -race, large enough to force segment rotation,
+// two snapshot cycles, retention eviction, and log truncation.
+func crashConfig(dir string, policy FsyncPolicy, plan *crashPlan, reg *metrics.Registry) DurableConfig {
+	opts := Options{Dir: dir, SegmentBytes: 1 << 11, Policy: policy, FsyncEvery: 2, Metrics: reg}
+	if plan != nil {
+		opts.hook = plan.hook
+	}
+	return DurableConfig{Wal: opts, SnapshotEvery: 3}
+}
+
+// runUntilCrash feeds the workload until the plan kills the run (or it
+// completes), returning the number of acknowledged batches and whether the
+// run died.
+func runUntilCrash(t *testing.T, dir string, w gen.Workload, alg algo.Selective, dc DurableConfig) (acked int, crashed bool) {
+	t.Helper()
+	d, err := NewDurableSelective(graph.FromEdges(w.NumV, w.Initial), alg, engine.Config{Workers: 2}, dc)
+	if err != nil {
+		if _, ok := err.(*crashError); ok {
+			return 0, true
+		}
+		t.Fatal(err)
+	}
+	for _, b := range w.Batches {
+		if _, err := d.ProcessBatch(context.Background(), b); err != nil {
+			if _, ok := err.(*crashError); ok {
+				d.abandon()
+				return acked, true
+			}
+			t.Fatal(err)
+		}
+		acked++
+	}
+	d.abandon() // even clean completions die without Close: written bytes persist
+	return acked, false
+}
+
+// verifyRecovery recovers the directory and checks the invariants every
+// scenario must satisfy: exactly-once replay accounting and oracle equality
+// over the recovered prefix. minSeq, when >= 0, additionally asserts
+// completeness (no acknowledged batch may be lost).
+func verifyRecovery(t *testing.T, w gen.Workload, alg algo.Selective, dc DurableConfig, minSeq int, label string) {
+	t.Helper()
+	dc.Wal.hook = nil
+	d, rs, err := RecoverSelective(alg, engine.Config{Workers: 2}, dc)
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	defer d.Close()
+	if rs.Replayed != int(rs.LastSeq-rs.SnapshotSeq) {
+		t.Fatalf("%s: replayed %d frames over (%d,%d]: duplicate or missed batch",
+			label, rs.Replayed, rs.SnapshotSeq, rs.LastSeq)
+	}
+	if int(rs.LastSeq) > len(w.Batches) {
+		t.Fatalf("%s: recovered past the stream: seq %d of %d", label, rs.LastSeq, len(w.Batches))
+	}
+	if minSeq >= 0 && int(rs.LastSeq) < minSeq {
+		t.Fatalf("%s: lost acknowledged batches: recovered to %d, acked %d", label, rs.LastSeq, minSeq)
+	}
+	if !valsEqual(d.Eng.Values(), oracleVals(t, w, alg, int(rs.LastSeq))) {
+		t.Fatalf("%s: recovered state differs from oracle over %d batches", label, rs.LastSeq)
+	}
+}
+
+// countSites runs the workload with a counting-only plan.
+func countSites(t *testing.T, w gen.Workload, alg algo.Selective, policy FsyncPolicy) int {
+	t.Helper()
+	plan := &crashPlan{}
+	dir := t.TempDir()
+	if _, crashed := runUntilCrash(t, dir, w, alg, crashConfig(dir, policy, plan, nil)); crashed {
+		t.Fatal("count pass must not crash")
+	}
+	return plan.count
+}
+
+// TestCrashPointFuzzer is the full matrix: every injection site × three
+// fsync policies × clean and torn crashes, plus seeded bit-flip, torn-tail,
+// and snapshot-corruption scenarios — well over 200 seeded scenarios.
+func TestCrashPointFuzzer(t *testing.T) {
+	w := testWorkload(97, 96, 8, 50)
+	alg := algo.SSSP{Src: 0}
+	scenarios := 0
+
+	for _, policy := range []FsyncPolicy{FsyncOff, FsyncInterval, FsyncAlways} {
+		sites := countSites(t, w, alg, policy)
+		if sites < 15 {
+			t.Fatalf("policy %v: only %d sites — the workload no longer exercises the WAL", policy, sites)
+		}
+		for _, tear := range []int{-1, 5} { // clean death, and death mid-write
+			for k := 1; k <= sites; k++ {
+				dir := t.TempDir()
+				plan := &crashPlan{at: k, tear: tear}
+				dc := crashConfig(dir, policy, plan, nil)
+				acked, crashed := runUntilCrash(t, dir, w, alg, dc)
+				if !crashed {
+					t.Fatalf("policy %v site %d/%d: crash did not fire", policy, k, sites)
+				}
+				// A crash in the creation path can die before any snapshot
+				// exists; then there is nothing to recover, by design.
+				if !HasSnapshot(dir) {
+					if acked != 0 {
+						t.Fatalf("policy %v site %d (%s): %d acked without a snapshot", policy, k, plan.fired, acked)
+					}
+					scenarios++
+					continue
+				}
+				// Process-crash model: written bytes persist, so every
+				// acknowledged batch must survive under every policy.
+				label := policy.String() + "/" + plan.fired
+				verifyRecovery(t, w, alg, dc, acked, label)
+				scenarios++
+			}
+		}
+	}
+
+	// Corruption scenarios run against completed (uncrashed) directories:
+	// flip a bit or tear a tail in a random log or snapshot file, then
+	// recover. Consistency (oracle equality over whatever prefix survives)
+	// must hold even when completeness cannot.
+	for seed := uint64(0); seed < 48; seed++ {
+		r := rng.New(seed * 7656287)
+		dir := t.TempDir()
+		dc := crashConfig(dir, FsyncOff, nil, nil)
+		acked, _ := runUntilCrash(t, dir, w, alg, dc)
+
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var segs, snaps []string
+		for _, e := range entries {
+			if _, ok := segFirst(e.Name()); ok {
+				segs = append(segs, filepath.Join(dir, e.Name()))
+			} else if _, ok := snapSeqOf(e.Name()); ok {
+				snaps = append(snaps, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(segs) == 0 || len(snaps) != snapRetain {
+			t.Fatalf("seed %d: %d segments, %d snapshots", seed, len(segs), len(snaps))
+		}
+		switch seed % 4 {
+		case 0: // bit-flip somewhere in a random log segment
+			corruptFile(t, segs[r.Intn(len(segs))], r, false)
+			verifyRecovery(t, w, alg, dc, -1, "log-flip")
+		case 1: // tear a random log segment's tail
+			corruptFile(t, segs[r.Intn(len(segs))], r, true)
+			verifyRecovery(t, w, alg, dc, -1, "log-tear")
+		case 2: // bit-flip the NEWEST snapshot: the older one + untrimmed
+			// log tail must still recover every acknowledged batch.
+			corruptFile(t, snaps[len(snaps)-1], r, false)
+			verifyRecovery(t, w, alg, dc, acked, "snap-flip")
+		case 3: // tear the newest snapshot mid-file: same fallback.
+			corruptFile(t, snaps[len(snaps)-1], r, true)
+			verifyRecovery(t, w, alg, dc, acked, "snap-tear")
+		}
+		scenarios++
+	}
+
+	if scenarios < 200 {
+		t.Fatalf("only %d scenarios ran; the acceptance bar is 200", scenarios)
+	}
+	t.Logf("%d crash/corruption scenarios verified", scenarios)
+}
+
+// corruptFile flips one random byte (tear=false) or truncates at a random
+// interior offset (tear=true).
+func corruptFile(t *testing.T, path string, r *rng.Xoshiro256, tear bool) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 {
+		t.Fatalf("%s too small to corrupt", path)
+	}
+	if tear {
+		if err := os.Truncate(path, int64(1+r.Intn(len(data)-1))); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data[r.Intn(len(data))] ^= byte(1 + r.Intn(255))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoverySmoke is the check.sh/CI slice of the fuzzer: one seeded
+// crash point, one recovery, one oracle check.
+func TestCrashRecoverySmoke(t *testing.T) {
+	w := testWorkload(41, 64, 5, 40)
+	alg := algo.SSSP{Src: 0}
+	dir := t.TempDir()
+	plan := &crashPlan{at: 11, tear: 5}
+	dc := crashConfig(dir, FsyncInterval, plan, nil)
+	acked, crashed := runUntilCrash(t, dir, w, alg, dc)
+	if !crashed {
+		t.Fatal("crash did not fire")
+	}
+	verifyRecovery(t, w, alg, dc, acked, "smoke/"+plan.fired)
+}

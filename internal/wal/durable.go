@@ -1,0 +1,231 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// snapRetain is how many snapshots survive retention. Two, not one: the WAL
+// is truncated only through the *older* retained snapshot, so even if the
+// newest snapshot is lost to bit rot, the older one plus the untrimmed log
+// tail still reconstructs every acknowledged batch.
+const snapRetain = 2
+
+// ErrNoSnapshot means the directory has no snapshot to recover from.
+var ErrNoSnapshot = errors.New("wal: no snapshot found")
+
+// HasSnapshot reports whether dir holds at least one snapshot file — the
+// CLI's cue to recover instead of starting fresh.
+func HasSnapshot(dir string) bool {
+	seqs, err := Snapshots(dir)
+	return err == nil && len(seqs) > 0
+}
+
+// DurableConfig configures a durable engine: the log options plus the
+// snapshot cadence.
+type DurableConfig struct {
+	Wal Options
+	// SnapshotEvery checkpoints after every N batches (0 = only the
+	// creation-time snapshot; the log then grows unboundedly).
+	SnapshotEvery int
+}
+
+// DurableSelective wraps a Selective engine with write-ahead durability:
+// each batch is logged (and synced per policy) before the engine applies
+// it, and periodic snapshots bound replay length and log size. After a
+// crash, RecoverSelective restores the newest intact snapshot and replays
+// the log tail to the exact pre-crash acknowledged state.
+type DurableSelective struct {
+	Eng *engine.Selective
+
+	log       *Log
+	cfg       DurableConfig
+	seq       uint64 // sequence of the last acknowledged batch
+	sinceSnap int
+}
+
+// NewDurableSelective builds a fresh engine over g (running the static
+// solve) and makes it durable: the directory must not already hold a
+// snapshot or log — recover those with RecoverSelective instead.
+func NewDurableSelective(g *graph.Streaming, alg algo.Selective, ecfg engine.Config, dc DurableConfig) (*DurableSelective, error) {
+	if HasSnapshot(dc.Wal.Dir) {
+		return nil, fmt.Errorf("wal: %s already holds a snapshot; use RecoverSelective", dc.Wal.Dir)
+	}
+	log, err := Open(dc.Wal)
+	if err != nil {
+		return nil, err
+	}
+	if log.LastSeq() != 0 {
+		log.Close()
+		return nil, fmt.Errorf("wal: %s holds a log but no snapshot; cannot establish a recovery base", dc.Wal.Dir)
+	}
+	d := &DurableSelective{
+		Eng: engine.NewSelective(g, alg, ecfg),
+		log: log,
+		cfg: dc,
+	}
+	// The creation-time snapshot (seq 0) makes the initial graph and solve
+	// durable, so recovery never depends on regenerating the input.
+	if err := d.Snapshot(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// ProcessBatch validates, logs, syncs (per policy), and only then applies
+// one batch. A nil return means the batch is both applied and as durable as
+// the fsync policy promises; a non-nil return means it was NOT acknowledged
+// (a malformed batch mutated nothing; any other error leaves the wrapper
+// unusable — recover from the directory).
+func (d *DurableSelective) ProcessBatch(ctx context.Context, batch graph.Batch) (engine.BatchStats, error) {
+	if err := d.Eng.G.CheckBatch(batch); err != nil {
+		return engine.BatchStats{}, err // reject before logging garbage
+	}
+	seq := d.seq + 1
+	if err := d.log.Append(seq, batch); err != nil {
+		return engine.BatchStats{}, err
+	}
+	st, err := d.Eng.ProcessBatchCtx(ctx, batch)
+	if err != nil {
+		return st, err
+	}
+	d.seq = seq
+	d.sinceSnap++
+	if d.cfg.SnapshotEvery > 0 && d.sinceSnap >= d.cfg.SnapshotEvery {
+		if err := d.Snapshot(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// Seq returns the sequence of the last acknowledged batch.
+func (d *DurableSelective) Seq() uint64 { return d.seq }
+
+// Log exposes the underlying log (read-only use).
+func (d *DurableSelective) Log() *Log { return d.log }
+
+// Snapshot checkpoints the current state at the current sequence, applies
+// retention (keep snapRetain newest), and truncates the log through the
+// older retained snapshot.
+func (d *DurableSelective) Snapshot() error {
+	// Frames <= seq must be durable before a snapshot claims to cover them.
+	if d.cfg.Wal.Policy != FsyncOff {
+		if err := d.log.Sync(); err != nil {
+			return err
+		}
+	}
+	vals, parent := d.Eng.SnapshotState()
+	if err := WriteSnapshot(d.cfg.Wal, d.seq, d.Eng.G, vals, parent); err != nil {
+		return err
+	}
+	d.sinceSnap = 0
+	if m := d.cfg.Wal.Metrics; m != nil {
+		m.Counter("wal.snapshots").Inc()
+	}
+	seqs, err := Snapshots(d.cfg.Wal.Dir)
+	if err != nil {
+		return err
+	}
+	for len(seqs) > snapRetain {
+		if err := removeSnapshot(d.cfg.Wal, seqs[0]); err != nil {
+			return err
+		}
+		seqs = seqs[1:]
+	}
+	if len(seqs) == snapRetain {
+		return d.log.TruncateThrough(seqs[0])
+	}
+	return nil
+}
+
+// Close syncs (per policy) and closes the log. The engine stays usable but
+// further batches are no longer durable.
+func (d *DurableSelective) Close() error { return d.log.Close() }
+
+// abandon drops the log handle without any cleanup — the crash fuzzer's
+// process-death stand-in.
+func (d *DurableSelective) abandon() { d.log.abandon() }
+
+// RecoveryStats summarizes one recovery.
+type RecoveryStats struct {
+	SnapshotSeq uint64        // sequence of the snapshot restored
+	Replayed    int           // WAL frames replayed through the engine
+	LastSeq     uint64        // last acknowledged sequence after recovery
+	Duration    time.Duration // wall time of the whole recovery
+}
+
+// RecoverSelective rebuilds a durable engine from dc.Wal.Dir: it restores
+// the newest snapshot that validates (falling back to older ones — the
+// retention policy guarantees the log still covers them), installs the
+// snapshot's values and parents as the engine's refinement floors without a
+// from-scratch solve, and replays the WAL tail through the engine. Each
+// surviving sequence is applied exactly once; replay stops cleanly at the
+// first torn or corrupt frame.
+func RecoverSelective(alg algo.Selective, ecfg engine.Config, dc DurableConfig) (*DurableSelective, RecoveryStats, error) {
+	t0 := time.Now()
+	var rs RecoveryStats
+	seqs, err := Snapshots(dc.Wal.Dir)
+	if err != nil {
+		return nil, rs, err
+	}
+	if len(seqs) == 0 {
+		return nil, rs, ErrNoSnapshot
+	}
+	var sd *SnapshotData
+	var lastErr error
+	for i := len(seqs) - 1; i >= 0 && sd == nil; i-- {
+		sd, lastErr = ReadSnapshot(filepath.Join(dc.Wal.Dir, SnapName(seqs[i])))
+	}
+	if sd == nil {
+		return nil, rs, fmt.Errorf("wal: no snapshot validates: %w", lastErr)
+	}
+	rs.SnapshotSeq = sd.Seq
+
+	g := graph.FromEdges(sd.NumV, sd.Edges)
+	eng, err := engine.NewSelectiveFromState(g, alg, ecfg, sd.Vals, sd.Parent)
+	if err != nil {
+		return nil, rs, err
+	}
+	log, err := Open(dc.Wal)
+	if err != nil {
+		return nil, rs, err
+	}
+	last := sd.Seq
+	err = log.Replay(sd.Seq, func(seq uint64, b graph.Batch) error {
+		if _, err := eng.ProcessBatchE(b); err != nil {
+			return err
+		}
+		last = seq
+		rs.Replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, rs, err
+	}
+	if log.LastSeq() < sd.Seq {
+		// The log's surviving tail predates the snapshot (an unsynced tail
+		// was torn away): every remaining frame is covered, so restart the
+		// sequence chain at the snapshot.
+		if err := log.resetTo(sd.Seq); err != nil {
+			log.Close()
+			return nil, rs, err
+		}
+	}
+	rs.LastSeq = last
+	rs.Duration = time.Since(t0)
+	if m := dc.Wal.Metrics; m != nil {
+		m.Counter("recovery.replay_batches").Add(int64(rs.Replayed))
+		m.Gauge("recovery.ns").Set(float64(rs.Duration.Nanoseconds()))
+	}
+	return &DurableSelective{Eng: eng, log: log, cfg: dc, seq: last}, rs, nil
+}

@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Snapshot files. A snapshot at sequence s captures the graph and engine
+// state after every batch with sequence <= s was applied: recovery restores
+// it and replays only the WAL frames with sequence > s. Snapshots are
+// written to a temp file and renamed into place, so a crash mid-write
+// leaves no half snapshot under the visible name; the footer frame is the
+// belt to that suspender (a truncated rename-less file is never listed, a
+// bit-flipped listed one fails its CRC or misses the footer).
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+// SnapName returns the snapshot filename for sequence seq.
+func SnapName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+func snapSeqOf(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hexa := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	if len(hexa) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hexa, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Snapshots lists the snapshot sequences present in dir, ascending.
+func Snapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if s, ok := snapSeqOf(e.Name()); ok {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// SnapshotData is one decoded snapshot: the graph content plus the engine's
+// refinement floors (values and key-edge parents).
+type SnapshotData struct {
+	Seq    uint64
+	NumV   int
+	Edges  []graph.Edge
+	Vals   []float64
+	Parent []int32
+}
+
+// WriteSnapshot persists a snapshot of g and the engine state at seq into
+// opts.Dir, atomically (temp file + rename) and durably (file and directory
+// synced unless the policy is FsyncOff).
+func WriteSnapshot(opts Options, seq uint64, g *graph.Streaming, vals []float64, parent []int32) error {
+	if _, err := opts.fire("snapshot.write"); err != nil {
+		return err
+	}
+	var buf []byte
+	var hdr [12]byte
+	putU64(hdr[0:8], seq)
+	putU32(hdr[8:12], uint32(g.NumVertices()))
+	buf = AppendFrame(buf, KindSnapHeader, hdr[:])
+	buf = AppendFrame(buf, KindSnapEdges, EncodeEdges(nil, g.Edges()))
+	buf = AppendFrame(buf, KindSnapState, EncodeState(nil, vals, parent))
+	buf = AppendFrame(buf, KindSnapFooter, hdr[0:8])
+
+	tmp := filepath.Join(opts.Dir, SnapName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := opts.fire("snapshot.sync"); err != nil {
+		f.Close()
+		return err
+	}
+	if opts.Policy != FsyncOff {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := opts.fire("snapshot.rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(opts.Dir, SnapName(seq))); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	opts.syncDir()
+	return nil
+}
+
+// ReadSnapshot loads and fully validates one snapshot file: frame CRCs,
+// frame order, decoded payload bounds, and header/footer sequence
+// agreement. Any violation returns an error; the caller falls back to an
+// older snapshot.
+func ReadSnapshot(path string) (*SnapshotData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer f.Close()
+
+	next := func(want byte) ([]byte, error) {
+		kind, payload, err := ReadFrame(f)
+		if err != nil {
+			return nil, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), err)
+		}
+		if kind != want {
+			return nil, fmt.Errorf("%w: snapshot frame kind %d, want %d", ErrCorrupt, kind, want)
+		}
+		return payload, nil
+	}
+
+	hdr, err := next(KindSnapHeader)
+	if err != nil {
+		return nil, err
+	}
+	if len(hdr) != 12 {
+		return nil, fmt.Errorf("%w: snapshot header %d bytes", ErrCorrupt, len(hdr))
+	}
+	sd := &SnapshotData{Seq: getU64(hdr[0:8]), NumV: int(getU32(hdr[8:12]))}
+	if sd.NumV < 0 || sd.NumV > 1<<28 {
+		return nil, fmt.Errorf("%w: snapshot declares %d vertices", ErrCorrupt, sd.NumV)
+	}
+	edgesP, err := next(KindSnapEdges)
+	if err != nil {
+		return nil, err
+	}
+	if sd.Edges, err = DecodeEdges(edgesP, sd.NumV); err != nil {
+		return nil, err
+	}
+	stateP, err := next(KindSnapState)
+	if err != nil {
+		return nil, err
+	}
+	if sd.Vals, sd.Parent, err = DecodeState(stateP, sd.NumV, sd.NumV); err != nil {
+		return nil, err
+	}
+	footer, err := next(KindSnapFooter)
+	if err != nil {
+		return nil, err
+	}
+	if len(footer) != 8 || getU64(footer) != sd.Seq {
+		return nil, fmt.Errorf("%w: snapshot footer disagrees with header", ErrCorrupt)
+	}
+	if _, _, err := ReadFrame(f); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after snapshot footer", ErrCorrupt)
+	}
+	return sd, nil
+}
+
+// removeSnapshot deletes one snapshot file (retention), firing the
+// crash-injection hook first.
+func removeSnapshot(opts Options, seq uint64) error {
+	if _, err := opts.fire("snapshot.remove"); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(opts.Dir, SnapName(seq))); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	opts.syncDir()
+	return nil
+}

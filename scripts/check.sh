@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo verification: formatting, build, vet, race-enabled tests, a seeded
-# chaos smoke run of the fault-tolerant distributed runtime, and a bench
-# smoke that emits and schema-validates the machine-readable report. Run
-# from anywhere.
+# WAL crash-recovery smoke, a durable-CLI recovery smoke, a seeded chaos
+# smoke run of the fault-tolerant distributed runtime, and a bench smoke
+# that emits and schema-validates the machine-readable report. Run from
+# anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +23,18 @@ go vet ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== crash-recovery smoke (seeded WAL crash point + oracle check) =="
+go test -race -run 'TestCrashRecoverySmoke' -count=1 ./internal/wal
+
+echo "== durable CLI smoke (WAL write, then recovery resume) =="
+waltmp=$(mktemp -d)
+go run ./cmd/graphfly -algo SSSP -dataset LJ -nEdges 1000 -numberOfUpdateBatches 2 \
+    -wal -waldir "$waltmp" -fsync interval -snapshot-every 2 > /dev/null
+go run ./cmd/graphfly -algo SSSP -dataset LJ -nEdges 1000 -numberOfUpdateBatches 1 \
+    -wal -waldir "$waltmp" > "$waltmp/resume.out"
+grep -q '^recovered ' "$waltmp/resume.out"
+rm -rf "$waltmp"
 
 echo "== chaos smoke (seeded fault injection, distributed SSSP) =="
 go run ./cmd/graphfly -algo SSSP -dataset TT -nEdges 2000 -numberOfUpdateBatches 3 \
