@@ -1,0 +1,70 @@
+// Command graphfly-worker is one worker process of the socket cluster
+// runtime. It dials the coordinator given by -addr, persists every applied
+// batch and commanded checkpoint under -dir, and processes its share of the
+// dependency flows until told to stop.
+//
+// Exit status: 0 after a graceful shutdown (SIGTERM/SIGINT, or the
+// coordinator saying bye), nonzero when the coordinator link degrades past
+// the retry budget — a supervisor should respawn the process with the SAME
+// -dir and -id so the restart recovers from its WAL and rejoins.
+//
+// Example:
+//
+//	graphfly-worker -addr 127.0.0.1:7421 -dir /tmp/cluster/worker-0 -id 0
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	addr := flag.String("addr", "", "coordinator address (required)")
+	dir := flag.String("dir", "", "directory for this worker's WAL and checkpoints (required)")
+	id := flag.Int("id", -1, "worker id to present; -1 lets the coordinator assign one, restarts must present their previous id")
+	connectTO := flag.Duration("connect-timeout", 30*time.Second, "give up dialing the coordinator after this long")
+	heartbeat := flag.Duration("heartbeat", 0, "link heartbeat interval (0 = default)")
+	peerTO := flag.Duration("peer-timeout", 0, "declare the coordinator unreachable after this much silence (0 = default)")
+	retransBase := flag.Duration("retrans-base", 0, "base retransmission delay (0 = default)")
+	maxRetries := flag.Int("max-retries", 0, "per-message retransmissions before the link is declared down (0 = default)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines on stderr")
+	flag.Parse()
+	if *addr == "" || *dir == "" {
+		fmt.Fprintln(os.Stderr, "graphfly-worker: -addr and -dir are required")
+		os.Exit(2)
+	}
+
+	// SIGTERM/SIGINT cancel the context; RunWorker turns that into a bye,
+	// a WAL flush, and a final checkpoint before returning nil.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	var logf func(string, ...any)
+	if !*quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "graphfly-worker[%d]: %s\n", os.Getpid(), fmt.Sprintf(format, args...))
+		}
+	}
+	err := dist.RunWorker(ctx, dist.WorkerConfig{
+		Addr:           *addr,
+		Dir:            *dir,
+		ID:             *id,
+		ConnectTimeout: *connectTO,
+		HeartbeatEvery: *heartbeat,
+		RetransBase:    *retransBase,
+		PeerTimeout:    *peerTO,
+		MaxRetries:     *maxRetries,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphfly-worker[%d]: %v\n", os.Getpid(), err)
+		os.Exit(1)
+	}
+}

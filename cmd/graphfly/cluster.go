@@ -1,0 +1,178 @@
+package main
+
+// Cluster mode: graphfly -cluster N runs the socket coordinator in this
+// process and supervises N real graphfly-worker processes, each with its
+// own WAL directory under -clusterDir. Workers that die (crash, kill -9)
+// are respawned with the same -dir and -id so they recover locally and
+// rejoin; workers that exit cleanly (coordinator bye, SIGTERM) stay down.
+//
+// Pid files (<clusterDir>/worker-<id>.pid) track the live processes so
+// external chaos harnesses (scripts/chaos.sh) can pick kill victims.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// clusterRuntime ties the in-process coordinator to the worker supervisor.
+type clusterRuntime struct {
+	coord *dist.Coordinator
+	sup   *supervisor
+}
+
+// startCluster launches the coordinator, spawns n supervised workers, and
+// waits until all n have joined.
+func startCluster(ctx context.Context, g *graph.Streaming, a algo.Selective,
+	n, flowCap, ckptEvery int, dir, workerBin, addr string, reg *metrics.Registry) (*clusterRuntime, error) {
+	bin, err := locateWorkerBin(workerBin)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("graphfly: %w", err)
+	}
+	coord, err := dist.NewCoordinator(g, a, dist.CoordConfig{
+		Addr:      addr,
+		FlowCap:   flowCap,
+		CkptEvery: ckptEvery,
+		Metrics:   reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "graphfly: coord: %s\n", fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sup := newSupervisor(bin, coord.Addr(), dir)
+	for i := 0; i < n; i++ {
+		sup.spawn(i)
+	}
+	if err := coord.WaitForWorkers(ctx, n); err != nil {
+		sup.stop()
+		coord.Close()
+		return nil, fmt.Errorf("graphfly: waiting for %d workers: %w", n, err)
+	}
+	return &clusterRuntime{coord: coord, sup: sup}, nil
+}
+
+// close byes the workers through the coordinator, then reaps the processes.
+func (c *clusterRuntime) close() {
+	c.coord.Close()
+	c.sup.stop()
+}
+
+// supervisor spawns graphfly-worker processes and respawns any that die
+// uncleanly, preserving each worker's id and durable directory.
+type supervisor struct {
+	bin  string
+	addr string
+	dir  string
+
+	mu       sync.Mutex
+	stopping bool
+	procs    map[int]*os.Process
+	wg       sync.WaitGroup
+}
+
+func newSupervisor(bin, addr, dir string) *supervisor {
+	return &supervisor{bin: bin, addr: addr, dir: dir, procs: map[int]*os.Process{}}
+}
+
+func (s *supervisor) spawn(id int) {
+	s.wg.Add(1)
+	go s.runLoop(id)
+}
+
+func (s *supervisor) runLoop(id int) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		if s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		cmd := exec.Command(s.bin,
+			"-addr", s.addr,
+			"-dir", filepath.Join(s.dir, fmt.Sprintf("worker-%d", id)),
+			"-id", strconv.Itoa(id))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			s.mu.Unlock()
+			fmt.Fprintf(os.Stderr, "graphfly: spawn worker %d: %v\n", id, err)
+			return
+		}
+		s.procs[id] = cmd.Process
+		s.mu.Unlock()
+		pidPath := filepath.Join(s.dir, fmt.Sprintf("worker-%d.pid", id))
+		os.WriteFile(pidPath, []byte(strconv.Itoa(cmd.Process.Pid)+"\n"), 0o644)
+
+		err := cmd.Wait()
+		s.mu.Lock()
+		delete(s.procs, id)
+		stopping := s.stopping
+		s.mu.Unlock()
+		os.Remove(pidPath)
+		if stopping || err == nil {
+			// Clean exit: the worker was told to stop (bye / SIGTERM).
+			return
+		}
+		fmt.Fprintf(os.Stderr, "graphfly: worker %d died (%v) — respawning\n", id, err)
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// stop terminates the remaining workers gracefully, escalating to SIGKILL
+// after a timeout, and waits for every monitor goroutine to finish.
+func (s *supervisor) stop() {
+	s.mu.Lock()
+	s.stopping = true
+	for _, p := range s.procs {
+		p.Signal(syscall.SIGTERM)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		s.mu.Lock()
+		for _, p := range s.procs {
+			p.Kill()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// locateWorkerBin resolves the graphfly-worker executable: an explicit
+// path wins, then a sibling of this binary, then $PATH.
+func locateWorkerBin(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "graphfly-worker")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand, nil
+		}
+	}
+	if p, err := exec.LookPath("graphfly-worker"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("graphfly: graphfly-worker binary not found — build it next to graphfly (go build ./cmd/...) or pass -workerBin")
+}

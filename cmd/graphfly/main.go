@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/algo"
 	"repro/internal/dist"
@@ -52,6 +54,10 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval | always | off")
 	snapEvery := flag.Int("snapshot-every", 16, "batches between snapshot checkpoints in -wal mode")
 	nodes := flag.Int("nodes", 0, "run the distributed cluster simulation over this many worker nodes (selective algorithms only)")
+	clusterN := flag.Int("cluster", 0, "spawn this many real graphfly-worker processes and run the batches over the socket runtime (selective algorithms only)")
+	clusterDir := flag.String("clusterDir", "", "base directory for per-worker WALs, checkpoints, and pid files (required with -cluster)")
+	workerBin := flag.String("workerBin", "", "path to the graphfly-worker binary (default: sibling of this binary, then $PATH)")
+	clusterAddr := flag.String("addr", "127.0.0.1:0", "coordinator listen address in -cluster mode")
 	faults := flag.String("faults", "", "fault injection spec for -nodes mode, e.g. seed=7,drop=0.05,crash=0.01,crashat=1:3:0 (keys: seed drop dup delay reorder maxdelay crash maxcrashes crashat detect retrans ckpt maxrounds norejoin)")
 	showMetrics := flag.Bool("metrics", false, "print engine counters and phase histograms at exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
@@ -84,6 +90,24 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *clusterN > 0 {
+		switch {
+		case *clusterDir == "":
+			fmt.Fprintln(os.Stderr, "graphfly: -cluster requires -clusterDir")
+			os.Exit(2)
+		case *walOn || *nodes > 1:
+			fmt.Fprintln(os.Stderr, "graphfly: -cluster is exclusive with -wal and -nodes (workers own their WALs)")
+			os.Exit(2)
+		case *snapEvery < 1:
+			fmt.Fprintln(os.Stderr, "graphfly: -snapshot-every must be >= 1")
+			os.Exit(2)
+		}
+	}
+
+	// SIGTERM/SIGINT cancel this context; the batch loop stops at the next
+	// boundary and every mode flushes its durable state on the way out.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stopSignals()
 
 	var fcfg dist.FaultConfig
 	if *faults != "" {
@@ -149,6 +173,7 @@ func main() {
 		values  func() []float64
 		run     func(graph.Batch) (engine.BatchStats, error)
 		cluster *dist.Cluster
+		crt     *clusterRuntime
 		durable *wal.DurableSelective
 		dim     = 1
 	)
@@ -176,6 +201,14 @@ func main() {
 		}
 		g := graph.FromEdges(w.NumV, initial)
 		switch {
+		case *clusterN > 0:
+			var err error
+			crt, err = startCluster(ctx, g, a, *clusterN, *flowCap, *snapEvery, *clusterDir, *workerBin, *clusterAddr, reg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "graphfly: %v\n", err)
+				os.Exit(1)
+			}
+			values = crt.coord.Values
 		case *nodes > 1:
 			cluster = dist.NewClusterWithFaults(g, a, *nodes, *flowCap, fcfg)
 			values = cluster.Values
@@ -210,7 +243,7 @@ func main() {
 			}
 			values = durable.Eng.Values
 			run = func(b graph.Batch) (engine.BatchStats, error) {
-				return durable.ProcessBatch(context.Background(), b)
+				return durable.ProcessBatch(ctx, b)
 			}
 		default:
 			eng := engine.NewSelective(g, a, eCfg)
@@ -238,8 +271,8 @@ func main() {
 			a = algo.NewLabelPropagation(*labels, seeds)
 			dim = *labels
 		}
-		if *nodes > 1 {
-			fmt.Fprintf(os.Stderr, "graphfly: -nodes supports the selective algorithms only (%s is accumulative)\n", *algoName)
+		if *nodes > 1 || *clusterN > 0 {
+			fmt.Fprintf(os.Stderr, "graphfly: -nodes and -cluster support the selective algorithms only (%s is accumulative)\n", *algoName)
 			os.Exit(2)
 		}
 		if *walOn {
@@ -264,7 +297,15 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if crt != nil {
+		fmt.Printf("cluster: %d worker processes via %s\n", *clusterN, crt.coord.Addr())
+	}
+	interrupted := false
 	for bi, b := range w.Batches {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		if cluster != nil {
 			if err := cluster.ProcessBatchE(b); err != nil {
 				fmt.Fprintf(os.Stderr, "graphfly: batch %d rejected: %v\n", bi, err)
@@ -273,21 +314,54 @@ func main() {
 			fmt.Printf("batch %d: rounds=%d msgs=%d\n", bi, cluster.LastRounds, cluster.LastCrossMsgs)
 			continue
 		}
+		if crt != nil {
+			if err := crt.coord.ProcessBatch(ctx, b); err != nil {
+				if ctx.Err() != nil {
+					interrupted = true
+					break
+				}
+				crt.close()
+				fmt.Fprintf(os.Stderr, "graphfly: batch %d rejected: %v\n", bi, err)
+				os.Exit(1)
+			}
+			fmt.Printf("batch %d: seq=%d live=%d\n", bi, crt.coord.BoundarySeq(), crt.coord.LiveWorkers())
+			continue
+		}
 		st, err := run(b)
 		if err != nil {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			fmt.Fprintf(os.Stderr, "graphfly: batch %d rejected: %v\n", bi, err)
 			os.Exit(1)
 		}
 		fmt.Printf("batch %d: applied=%d trimmed=%d flows=%d units=%d levels=%d msgs=%d relax=%d time=%v\n",
 			bi, st.Applied, st.Trimmed, st.Impacted, st.Units, st.Levels, st.CrossMsgs, st.Relaxations, st.Total)
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "graphfly: interrupted — flushing durable state")
+	}
 	if durable != nil {
+		if interrupted {
+			// Final checkpoint so a later run recovers instantly instead of
+			// replaying the whole log tail.
+			if err := durable.Snapshot(); err != nil {
+				fmt.Fprintf(os.Stderr, "graphfly: final snapshot: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if err := durable.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "graphfly: wal close: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wal: %s durable through seq %d (fsync=%s, snapshot every %d)\n",
 			*walDir, durable.Seq(), fsyncPolicy, *snapEvery)
+	}
+	if crt != nil {
+		// Bye the workers (each writes a final checkpoint) and reap them.
+		crt.close()
+		fmt.Printf("cluster: boundary seq %d\n", crt.coord.BoundarySeq())
 	}
 	if cluster != nil && fcfg.Enabled() {
 		s := cluster.Stats

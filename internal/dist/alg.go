@@ -1,0 +1,44 @@
+package dist
+
+// Wire naming for selective algorithms: the coordinator ships (name, source)
+// in the Welcome and the worker reconstructs the algorithm locally, so the
+// two processes agree on Base/Better/Propagate without serializing code.
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+)
+
+// selectiveWire extracts the wire identity of a selective algorithm.
+func selectiveWire(alg algo.Selective) (name string, src uint32, err error) {
+	switch a := alg.(type) {
+	case algo.SSSP:
+		return "SSSP", uint32(a.Src), nil
+	case algo.BFS:
+		return "BFS", uint32(a.Src), nil
+	case algo.SSWP:
+		return "SSWP", uint32(a.Src), nil
+	case algo.CC:
+		return "CC", 0, nil
+	default:
+		return "", 0, fmt.Errorf("dist: algorithm %q is not wire-encodable", alg.Name())
+	}
+}
+
+// selectiveByName is the inverse of selectiveWire, run worker-side.
+func selectiveByName(name string, src uint32) (algo.Selective, error) {
+	switch name {
+	case "SSSP":
+		return algo.SSSP{Src: graph.VertexID(src)}, nil
+	case "BFS":
+		return algo.BFS{Src: graph.VertexID(src)}, nil
+	case "SSWP":
+		return algo.SSWP{Src: graph.VertexID(src)}, nil
+	case "CC":
+		return algo.CC{}, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown selective algorithm %q", name)
+	}
+}

@@ -59,6 +59,12 @@ type FaultConfig struct {
 	// RetransRounds is the base retransmission timeout in rounds; it backs
 	// off exponentially per retry (default 4).
 	RetransRounds int
+	// MaxRetries caps how many backoff rounds a pending packet is
+	// retransmitted before the sender gives up, surfaces ErrPeerDown, and
+	// the Manager fail-stop-converts the unreachable peer (default 16 —
+	// with exponential backoff that is far beyond any survivable loss
+	// schedule, so healthy runs never hit it).
+	MaxRetries int
 	// CheckpointEvery commits a Manager checkpoint of all authoritative
 	// values every N batches (default 1). Larger values cheapen steady
 	// state and lengthen replay on recovery.
@@ -108,6 +114,13 @@ func (fc FaultConfig) retransRounds() int {
 	return fc.RetransRounds
 }
 
+func (fc FaultConfig) maxRetries() int {
+	if fc.MaxRetries <= 0 {
+		return 16
+	}
+	return fc.MaxRetries
+}
+
 func (fc FaultConfig) checkpointEvery() int {
 	if fc.CheckpointEvery <= 0 {
 		return 1
@@ -131,8 +144,9 @@ func (fc FaultConfig) maxRounds() int {
 //
 //	seed=7,crashat=0:3:1+2:1:0
 //
-// Remaining keys: maxdelay, detect, retrans, ckpt, maxrounds (integers) and
-// norejoin (bare flag or =true). An empty spec returns the zero config.
+// Remaining keys: maxdelay, detect, retrans, maxretries, ckpt, maxrounds
+// (integers) and norejoin (bare flag or =true). An empty spec returns the
+// zero config.
 func ParseFaults(spec string) (FaultConfig, error) {
 	var fc FaultConfig
 	spec = strings.TrimSpace(spec)
@@ -177,7 +191,7 @@ func ParseFaults(spec string) (FaultConfig, error) {
 			case "crash":
 				fc.CrashRate = f
 			}
-		case "maxdelay", "maxcrashes", "detect", "retrans", "ckpt", "maxrounds":
+		case "maxdelay", "maxcrashes", "detect", "retrans", "maxretries", "ckpt", "maxrounds":
 			n, err := strconv.Atoi(val)
 			if err != nil {
 				return badVal(err)
@@ -194,6 +208,8 @@ func ParseFaults(spec string) (FaultConfig, error) {
 				fc.DetectRounds = n
 			case "retrans":
 				fc.RetransRounds = n
+			case "maxretries":
+				fc.MaxRetries = n
 			case "ckpt":
 				fc.CheckpointEvery = n
 			case "maxrounds":
@@ -243,6 +259,7 @@ type FaultStats struct {
 	Delayed        int64 // packets held past base latency
 	Reordered      int64 // delivery-time swaps within a link
 	Retransmits    int64 // timer-driven resends
+	PeerDownEvents int64 // links abandoned after MaxRetries (ErrPeerDown)
 	DupsDiscarded  int64 // receive-side dedup hits (stale seq)
 	Crashes        int64 // workers killed
 	Rejoins        int64 // workers re-admitted at a batch boundary

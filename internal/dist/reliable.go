@@ -172,9 +172,18 @@ func (c *Cluster) deliverPacket(p packet) {
 
 // retransmitRound resends every pending packet whose backoff timer expired.
 // Retransmissions run through the injector again — the network is just as
-// hostile to them.
+// hostile to them. Retries are capped: a packet that has already been
+// retransmitted MaxRetries times is not resent again; instead the sender
+// surfaces ErrPeerDown (Stats.PeerDownEvents) and the Manager fail-stop
+// converts the unreachable peer — it is declared crashed, the sender's link
+// to it is reset (dropping the undeliverable pending queue; the upstream
+// backup replayLog, written at first send, still covers the candidates),
+// and the ordinary detection/recovery machinery reconstructs its state.
+// Healthy schedules never get near the cap, so the graceful-degradation
+// path replaces only the pathological retransmit-forever behavior.
 func (c *Cluster) retransmitRound() {
 	base := c.fc.retransRounds()
+	maxR := c.fc.maxRetries()
 	for _, n := range c.nodes {
 		if !c.live[n.id] {
 			continue
@@ -183,8 +192,13 @@ func (c *Cluster) retransmitRound() {
 			if peer == n.id || (!c.live[peer] && c.detected[peer]) {
 				continue
 			}
+			exhausted := false
 			for i := range link.pending {
 				pp := &link.pending[i]
+				if pp.retries >= maxR {
+					exhausted = true
+					break
+				}
 				shift := pp.retries
 				if shift > 6 {
 					shift = 6
@@ -195,6 +209,13 @@ func (c *Cluster) retransmitRound() {
 					c.Stats.Retransmits++
 					c.pushPacket(packet{from: n.id, to: peer, seq: pp.seq, msg: pp.msg})
 				}
+			}
+			if exhausted {
+				c.Stats.PeerDownEvents++
+				if c.live[peer] {
+					c.crashNode(peer)
+				}
+				n.resetLink(peer)
 			}
 		}
 	}

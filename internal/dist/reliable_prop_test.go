@@ -1,0 +1,135 @@
+package dist
+
+// Seeded property tests for the sim reliable layer (reliable.go): under a
+// hostile injector (drop, dup, delay, reorder) every directed link must
+// deliver exactly once in FIFO order, cumulative acks must be monotone, and
+// a peer past the retry cap must be fail-stop converted with the link reset.
+// The schedule is fully deterministic per seed.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+)
+
+func propCluster(fc FaultConfig) *Cluster {
+	g := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1, W: 1}})
+	return NewClusterWithFaults(g, algo.SSSP{Src: 0}, 2, 32, fc)
+}
+
+func drainInbox(c *Cluster, id int) []clusterMsg {
+	n := c.nodes[id]
+	msgs := n.inbox
+	n.inbox = nil
+	return msgs
+}
+
+func TestReliableLinkFIFOUnderFaults(t *testing.T) {
+	const K = 200
+	for seed := uint64(0); seed < 20; seed++ {
+		fc := FaultConfig{
+			Seed: seed, Drop: 0.25, Dup: 0.25, Delay: 0.4, MaxDelay: 5,
+			Reorder: 0.35, RetransRounds: 2, MaxRetries: 16,
+		}
+		c := propCluster(fc)
+		pace := rand.New(rand.NewSource(int64(seed)))
+		sent01, sent10 := 0, 0
+		var got01, got10 []float64
+		var lastAck uint64
+		done := false
+		for c.round = 0; c.round < 5000; c.round++ {
+			for i := pace.Intn(4); i > 0 && sent01 < K; i-- {
+				c.sendMsg(0, 1, clusterMsg{v: 1, val: float64(sent01)}, false)
+				sent01++
+			}
+			for i := pace.Intn(4); i > 0 && sent10 < K; i-- {
+				c.sendMsg(1, 0, clusterMsg{v: 0, val: float64(sent10)}, false)
+				sent10++
+			}
+			c.deliverRound()
+			c.retransmitRound()
+			for _, m := range drainInbox(c, 1) {
+				got01 = append(got01, m.val)
+			}
+			for _, m := range drainInbox(c, 0) {
+				got10 = append(got10, m.val)
+			}
+			// Cumulative acks never regress.
+			if ne := c.nodes[1].recv[0].nextExpect; ne < lastAck {
+				t.Fatalf("seed %d: ack regressed %d -> %d", seed, lastAck, ne)
+			} else {
+				lastAck = ne
+			}
+			if sent01 == K && sent10 == K && len(got01) == K && len(got10) == K &&
+				len(c.net.q) == 0 && c.linksIdle() {
+				done = true
+				break
+			}
+		}
+		if !done {
+			t.Fatalf("seed %d: links never drained (got %d/%d and %d/%d)",
+				seed, len(got01), K, len(got10), K)
+		}
+		if c.Stats.PeerDownEvents != 0 {
+			t.Fatalf("seed %d: healthy schedule hit the retry cap", seed)
+		}
+		if lastAck != K {
+			t.Fatalf("seed %d: final cumulative ack %d, want %d", seed, lastAck, K)
+		}
+		for dir, got := range [][]float64{got01, got10} {
+			for i, v := range got {
+				if v != float64(i) {
+					t.Fatalf("seed %d dir %d: position %d delivered %v (FIFO/exactly-once violated)",
+						seed, dir, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReliableLinkRetryExhaustion(t *testing.T) {
+	fc := FaultConfig{Seed: 7, Drop: 0.999, RetransRounds: 1, MaxRetries: 3}
+	c := propCluster(fc)
+	c.sendMsg(0, 1, clusterMsg{v: 1, val: 42}, false)
+	for c.round = 0; c.round < 2000 && c.Stats.PeerDownEvents == 0; c.round++ {
+		c.deliverRound()
+		c.retransmitRound()
+	}
+	if c.Stats.PeerDownEvents == 0 {
+		t.Fatal("retry cap never surfaced ErrPeerDown")
+	}
+	if c.live[1] {
+		t.Fatal("unreachable peer was not fail-stop converted")
+	}
+	if got := len(c.nodes[0].send[1].pending); got != 0 {
+		t.Fatalf("sender link not reset: %d packets still pending", got)
+	}
+}
+
+// TestReliableLinkRetryCapUnreachedWhenHealthy pins the design claim that
+// the cap only bites pathological schedules: moderate loss plus
+// retransmission always finishes without a peer-down event.
+func TestReliableLinkRetryCapUnreachedWhenHealthy(t *testing.T) {
+	for seed := uint64(100); seed < 110; seed++ {
+		fc := FaultConfig{Seed: seed, Drop: 0.5, RetransRounds: 1, MaxRetries: 16}
+		c := propCluster(fc)
+		for i := 0; i < 50; i++ {
+			c.sendMsg(0, 1, clusterMsg{v: 1, val: float64(i)}, false)
+		}
+		for c.round = 0; c.round < 5000; c.round++ {
+			c.deliverRound()
+			c.retransmitRound()
+			if len(c.net.q) == 0 && c.linksIdle() {
+				break
+			}
+		}
+		if c.Stats.PeerDownEvents != 0 {
+			t.Fatalf("seed %d: 50%% loss should never exhaust 16 backoff retries", seed)
+		}
+		if got := len(drainInbox(c, 1)); got != 50 {
+			t.Fatalf("seed %d: delivered %d/50", seed, got)
+		}
+	}
+}

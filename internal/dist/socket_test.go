@@ -1,0 +1,363 @@
+package dist
+
+// In-process tests for the socket runtime: a real Coordinator listening on
+// a loopback TCP port, with RunWorker instances as goroutines. Everything
+// crosses real sockets and real WAL files; only process boundaries are
+// elided (proc_test.go covers those with actual kill -9).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// fastCoordConfig returns timers tight enough that death detection and
+// retransmission resolve in tens of milliseconds.
+func fastCoordConfig() CoordConfig {
+	return CoordConfig{
+		Addr:           "127.0.0.1:0",
+		FlowCap:        32,
+		CkptEvery:      2,
+		BatchTimeout:   30 * time.Second,
+		HeartbeatEvery: 20 * time.Millisecond,
+		RetransBase:    25 * time.Millisecond,
+		PeerTimeout:    400 * time.Millisecond,
+		MaxRetries:     10,
+	}
+}
+
+// testWorker is one in-process worker with crash and restart controls.
+type testWorker struct {
+	id       int
+	dir      string
+	cancel   context.CancelFunc
+	hardStop chan struct{}
+	done     chan error
+}
+
+func startTestWorker(addr, dir string, id int) *testWorker {
+	ctx, cancel := context.WithCancel(context.Background())
+	tw := &testWorker{
+		id: id, dir: dir, cancel: cancel,
+		hardStop: make(chan struct{}),
+		done:     make(chan error, 1),
+	}
+	go func() {
+		tw.done <- RunWorker(ctx, WorkerConfig{
+			Addr: addr, Dir: dir, ID: id,
+			ConnectTimeout: 10 * time.Second,
+			HeartbeatEvery: 20 * time.Millisecond,
+			RetransBase:    25 * time.Millisecond,
+			PeerTimeout:    400 * time.Millisecond,
+			MaxRetries:     10,
+			HardStop:       tw.hardStop,
+		})
+	}()
+	return tw
+}
+
+// crash simulates kill -9 and waits for the worker goroutine to exit.
+func (tw *testWorker) crash(t *testing.T) {
+	t.Helper()
+	close(tw.hardStop)
+	select {
+	case <-tw.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("crashed worker did not exit")
+	}
+	tw.cancel()
+}
+
+// stop cancels the context (SIGTERM path) and waits for a clean exit.
+func (tw *testWorker) stop(t *testing.T) {
+	t.Helper()
+	tw.cancel()
+	select {
+	case err := <-tw.done:
+		if err != nil {
+			t.Fatalf("worker %d: graceful stop returned %v", tw.id, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("worker %d did not stop", tw.id)
+	}
+}
+
+// wait reaps a worker expected to exit on its own (coordinator bye).
+func (tw *testWorker) wait(t *testing.T) {
+	t.Helper()
+	select {
+	case err := <-tw.done:
+		if err != nil {
+			t.Fatalf("worker %d exited with %v", tw.id, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("worker %d did not exit after bye", tw.id)
+	}
+	tw.cancel()
+}
+
+// socketHarness holds one running cluster plus the oracle replica.
+type socketHarness struct {
+	t       *testing.T
+	alg     algo.Selective
+	coord   *Coordinator
+	ref     *graph.Streaming
+	workers map[int]*testWorker
+	base    string
+}
+
+func newSocketHarness(t *testing.T, alg algo.Selective, w gen.Workload, n int) *socketHarness {
+	t.Helper()
+	initial := w.Initial
+	if alg.Symmetric() {
+		var both []graph.Edge
+		for _, e := range initial {
+			both = append(both, e, graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+		}
+		initial = both
+	}
+	g := graph.FromEdges(w.NumV, initial)
+	coord, err := NewCoordinator(g, alg, fastCoordConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &socketHarness{
+		t: t, alg: alg, coord: coord,
+		ref:     g.Clone(),
+		workers: map[int]*testWorker{},
+		base:    t.TempDir(),
+	}
+	for i := 0; i < n; i++ {
+		h.startWorker(i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := coord.WaitForWorkers(ctx, n); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *socketHarness) workerDir(id int) string {
+	return filepath.Join(h.base, fmt.Sprintf("worker-%d", id))
+}
+
+func (h *socketHarness) startWorker(id int) *testWorker {
+	tw := startTestWorker(h.coord.Addr(), h.workerDir(id), id)
+	h.workers[id] = tw
+	return tw
+}
+
+// runBatch processes one batch and asserts bit-exact agreement with the
+// single-machine oracle.
+func (h *socketHarness) runBatch(bi int, b graph.Batch) {
+	h.t.Helper()
+	if err := h.coord.ProcessBatch(context.Background(), b); err != nil {
+		h.t.Fatalf("batch %d: %v", bi, err)
+	}
+	rb := b
+	if h.alg.Symmetric() {
+		rb = symmetrize(b)
+	}
+	h.ref.ApplyBatch(rb)
+	want, _ := algo.SolveSelective(h.ref, h.alg)
+	got := h.coord.Values()
+	for v := range want {
+		if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+			h.t.Fatalf("%s batch %d: vertex %d = %v, want %v", h.alg.Name(), bi, v, got[v], want[v])
+		}
+	}
+}
+
+func (h *socketHarness) close() {
+	h.coord.Close()
+	for _, tw := range h.workers {
+		select {
+		case <-tw.done:
+		case <-time.After(5 * time.Second):
+		}
+		tw.cancel()
+	}
+}
+
+func TestSocketClusterMatchesOracle(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			w := clusterWorkload(uint64(90+n), 4)
+			h := newSocketHarness(t, algo.SSSP{Src: 0}, w, n)
+			defer h.close()
+			for bi, b := range w.Batches {
+				h.runBatch(bi, b)
+			}
+		})
+	}
+}
+
+func TestSocketClusterAlgorithms(t *testing.T) {
+	algs := []algo.Selective{algo.BFS{Src: 0}, algo.SSWP{Src: 0}, algo.CC{}}
+	for _, a := range algs {
+		t.Run(a.Name(), func(t *testing.T) {
+			w := clusterWorkload(97, 3)
+			h := newSocketHarness(t, a, w, 2)
+			defer h.close()
+			for bi, b := range w.Batches {
+				h.runBatch(bi, b)
+			}
+		})
+	}
+}
+
+// TestSocketCheckpointFramesOnDisk asserts the acceptance criterion that
+// worker checkpoints on disk carry KindDistCheckpoint frames.
+func TestSocketCheckpointFramesOnDisk(t *testing.T) {
+	w := clusterWorkload(101, 4) // CkptEvery=2 -> checkpoints at seq 2 and 4
+	h := newSocketHarness(t, algo.SSSP{Src: 0}, w, 2)
+	defer h.close()
+	for bi, b := range w.Batches {
+		h.runBatch(bi, b)
+	}
+	for id := 0; id < 2; id++ {
+		ck, err := loadWorkerCkpt(h.workerDir(id))
+		if err != nil {
+			t.Fatalf("worker %d checkpoint: %v", id, err)
+		}
+		if ck == nil {
+			t.Fatalf("worker %d wrote no checkpoint", id)
+		}
+		if ck.Seq == 0 || len(ck.Vals) != h.ref.NumVertices() {
+			t.Fatalf("worker %d checkpoint: seq=%d vals=%d", id, ck.Seq, len(ck.Vals))
+		}
+	}
+}
+
+// TestSocketGracefulLeaveAndJoin: a worker leaving via SIGTERM shrinks the
+// membership without failing batches; a new worker joining grows it.
+func TestSocketGracefulLeaveAndJoin(t *testing.T) {
+	w := clusterWorkload(103, 4)
+	h := newSocketHarness(t, algo.SSSP{Src: 0}, w, 2)
+	defer h.close()
+	h.runBatch(0, w.Batches[0])
+
+	h.workers[0].stop(t) // graceful leave: bye + final checkpoint
+	h.runBatch(1, w.Batches[1])
+	if live := h.coord.LiveWorkers(); live != 1 {
+		t.Fatalf("after leave: %d live workers, want 1", live)
+	}
+
+	h.startWorker(2) // fresh member
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.coord.WaitForWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	h.runBatch(2, w.Batches[2])
+	h.runBatch(3, w.Batches[3])
+	if live := h.coord.LiveWorkers(); live != 2 {
+		t.Fatalf("after join: %d live workers, want 2", live)
+	}
+}
+
+// TestSocketCrashRestartMidBatch kills a worker while a batch is in flight;
+// the survivors re-run, the restarted worker recovers from its WAL and
+// rejoins, and every batch still matches the oracle bit-exactly.
+func TestSocketCrashRestartMidBatch(t *testing.T) {
+	w := clusterWorkload(107, 5)
+	h := newSocketHarness(t, algo.SSSP{Src: 0}, w, 3)
+	defer h.close()
+	h.runBatch(0, w.Batches[0])
+	h.runBatch(1, w.Batches[1])
+
+	victim := h.workers[1]
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(victim.hardStop)
+	}()
+	h.runBatch(2, w.Batches[2])
+	<-victim.done
+	victim.cancel()
+
+	// Restart with the same directory and id: WAL recovery + rejoin.
+	h.startWorker(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.coord.WaitForWorkers(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	h.runBatch(3, w.Batches[3])
+	h.runBatch(4, w.Batches[4])
+}
+
+// TestSocketAllWorkersDie kills the whole membership mid-batch; restarted
+// processes must be admitted into the in-flight batch and finish it.
+func TestSocketAllWorkersDie(t *testing.T) {
+	w := clusterWorkload(109, 3)
+	h := newSocketHarness(t, algo.SSSP{Src: 0}, w, 2)
+	defer h.close()
+	h.runBatch(0, w.Batches[0])
+
+	w0, w1 := h.workers[0], h.workers[1]
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(w0.hardStop)
+		close(w1.hardStop)
+		<-w0.done
+		<-w1.done
+		// Respawn both; the coordinator is still inside ProcessBatch.
+		h.startWorker(0)
+		h.startWorker(1)
+	}()
+	h.runBatch(1, w.Batches[1])
+	w0.cancel()
+	w1.cancel()
+	h.runBatch(2, w.Batches[2])
+}
+
+// TestSocketChaosSeeded is the in-process chaos loop: random mid-batch
+// kill -9s with random restart delays across a longer stream, every batch
+// checked against the oracle. Deterministically seeded.
+func TestSocketChaosSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos loop is slow under -short")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			w := clusterWorkload(uint64(120+seed), 6)
+			const n = 3
+			h := newSocketHarness(t, algo.SSSP{Src: 0}, w, n)
+			defer h.close()
+			for bi, b := range w.Batches {
+				var crashed *testWorker
+				if bi > 0 && rng.Intn(2) == 0 {
+					crashed = h.workers[rng.Intn(n)]
+					delay := time.Duration(rng.Intn(4)) * time.Millisecond
+					go func() {
+						time.Sleep(delay)
+						close(crashed.hardStop)
+					}()
+				}
+				h.runBatch(bi, b)
+				if crashed != nil {
+					<-crashed.done
+					crashed.cancel()
+					h.startWorker(crashed.id)
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					if err := h.coord.WaitForWorkers(ctx, n); err != nil {
+						cancel()
+						t.Fatal(err)
+					}
+					cancel()
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,556 @@
+package dist
+
+// Wire protocol of the real-socket cluster runtime (DESIGN.md §4.10). Every
+// frame on a connection uses the shared wal codec framing —
+// [len][crc32c][kind][payload] — so the network detects truncation and bit
+// corruption exactly the way the on-disk artifacts do. Sequenced
+// application messages ride in wkMsg frames under the reliable link layer
+// (link.go); acks, heartbeats, and the connection-level hello are
+// unsequenced control frames.
+//
+// Payloads are flat little-endian records, hand-decoded with the same
+// discipline as the wal payload codecs: every length and range is validated
+// before allocation, and a malformed payload yields an error, never a panic
+// or garbage.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// Socket frame kinds. Distinct from the wal on-disk kinds so a stray file
+// read as a stream (or vice versa) fails loudly on kind, not just on
+// payload shape.
+const (
+	wkMsg   byte = 0x10 // [8B seq][1B msgType][body] — reliable, sequenced
+	wkAck   byte = 0x11 // [8B cumulative ack = receiver's nextExpect]
+	wkPing  byte = 0x12 // heartbeat probe
+	wkPong  byte = 0x13 // heartbeat reply
+	wkHello byte = 0x14 // connection handshake (worker -> coordinator)
+)
+
+// Message types carried inside wkMsg frames.
+const (
+	mtWelcome      byte = 1  // coordinator -> worker: join accepted, state transfer
+	mtBatchStart   byte = 2  // coordinator -> worker: process one batch
+	mtData         byte = 3  // both ways: routed candidate/shadow records
+	mtIdle         byte = 4  // worker -> coordinator: drained, counters attached
+	mtCollect      byte = 5  // coordinator -> worker: report owned state
+	mtCollectReply byte = 6  // worker -> coordinator: converged (v, val, parent)
+	mtCkptCmd      byte = 8  // coordinator -> worker: write a checkpoint at seq
+	mtCkptDone     byte = 9  // worker -> coordinator: checkpoint committed
+	mtBye          byte = 10 // either way: graceful leave / shutdown
+	mtJoinReject   byte = 11 // coordinator -> worker: join refused
+)
+
+// wireHello is the connection-level handshake a worker sends first on every
+// new connection (initial join, soft reconnect, and post-restart rejoin).
+type wireHello struct {
+	ID          int32  // worker id; -1 asks the coordinator to assign one
+	Incarnation uint64 // changes on every process (re)start
+	StructSeq   uint64 // last batch applied to the worker's recovered graph
+	CkptSeq     uint64 // sequence of the newest intact local checkpoint
+	HasBase     bool   // a base graph was recovered (ckpt + WAL replay succeeded)
+}
+
+func encodeHello(h wireHello) []byte {
+	var b [29]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(h.ID))
+	binary.LittleEndian.PutUint64(b[4:12], h.Incarnation)
+	binary.LittleEndian.PutUint64(b[12:20], h.StructSeq)
+	binary.LittleEndian.PutUint64(b[20:28], h.CkptSeq)
+	if h.HasBase {
+		b[28] = 1
+	}
+	return b[:]
+}
+
+func decodeHello(p []byte) (wireHello, error) {
+	if len(p) != 29 {
+		return wireHello{}, fmt.Errorf("%w: hello payload %d bytes", wal.ErrCorrupt, len(p))
+	}
+	return wireHello{
+		ID:          int32(binary.LittleEndian.Uint32(p[0:4])),
+		Incarnation: binary.LittleEndian.Uint64(p[4:12]),
+		StructSeq:   binary.LittleEndian.Uint64(p[12:20]),
+		CkptSeq:     binary.LittleEndian.Uint64(p[20:28]),
+		HasBase:     p[28] != 0,
+	}, nil
+}
+
+// --- primitive append/read helpers ---
+
+type wireEnc struct{ b []byte }
+
+func (e *wireEnc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *wireEnc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *wireEnc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *wireEnc) i32(v int32)   { e.u32(uint32(v)) }
+func (e *wireEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *wireEnc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *wireEnc) boolByte(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// wireDec is a sticky-error cursor: after the first violation every read
+// returns zero values and err() reports the failure.
+type wireDec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *wireDec) fail() { d.bad = true }
+func (d *wireDec) take(n int) []byte {
+	if d.bad || len(d.b) < n {
+		d.fail()
+		return nil
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p
+}
+func (d *wireDec) u8() byte {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+func (d *wireDec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+func (d *wireDec) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+func (d *wireDec) i32() int32   { return int32(d.u32()) }
+func (d *wireDec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *wireDec) str() string {
+	n := int(d.u32())
+	if n < 0 || n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// count reads a length prefix and validates it against the remaining bytes
+// at elemLen bytes per element, so a hostile count can never drive an
+// allocation past the payload it arrived in.
+func (d *wireDec) count(elemLen int) int {
+	n := int(d.u32())
+	if d.bad || n < 0 || n*elemLen > len(d.b) {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *wireDec) err(what string) error {
+	if d.bad {
+		return fmt.Errorf("%w: malformed %s message", wal.ErrCorrupt, what)
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after %s message", wal.ErrCorrupt, len(d.b), what)
+	}
+	return nil
+}
+
+// --- compound sections ---
+
+const updateLen = 4 + 4 + 8 + 1
+
+func encBatch(e *wireEnc, b graph.Batch) {
+	e.u32(uint32(len(b)))
+	for _, u := range b {
+		e.u32(u.Src)
+		e.u32(u.Dst)
+		e.f64(float64(u.W))
+		e.boolByte(u.Del)
+	}
+}
+
+func decBatch(d *wireDec) graph.Batch {
+	n := d.count(updateLen)
+	if n == 0 {
+		return nil
+	}
+	b := make(graph.Batch, n)
+	for i := range b {
+		b[i].Src = d.u32()
+		b[i].Dst = d.u32()
+		b[i].W = graph.Weight(d.f64())
+		b[i].Del = d.u8() != 0
+	}
+	return b
+}
+
+func encVals(e *wireEnc, vals []float64) {
+	e.u32(uint32(len(vals)))
+	for _, v := range vals {
+		e.f64(v)
+	}
+}
+
+func decVals(d *wireDec) []float64 {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = d.f64()
+	}
+	return vals
+}
+
+func encI32s(e *wireEnc, xs []int32) {
+	e.u32(uint32(len(xs)))
+	for _, x := range xs {
+		e.i32(x)
+	}
+}
+
+func decI32s(d *wireDec) []int32 {
+	n := d.count(4)
+	if n == 0 {
+		return nil
+	}
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = d.i32()
+	}
+	return xs
+}
+
+func encU32s(e *wireEnc, xs []uint32) {
+	e.u32(uint32(len(xs)))
+	for _, x := range xs {
+		e.u32(x)
+	}
+}
+
+func decU32s(d *wireDec) []uint32 {
+	n := d.count(4)
+	if n == 0 {
+		return nil
+	}
+	xs := make([]uint32, n)
+	for i := range xs {
+		xs[i] = d.u32()
+	}
+	return xs
+}
+
+func encEdges(e *wireEnc, edges []graph.Edge) {
+	e.u32(uint32(len(edges)))
+	for _, ed := range edges {
+		e.u32(ed.Src)
+		e.u32(ed.Dst)
+		e.f64(float64(ed.W))
+	}
+}
+
+func decEdges(d *wireDec) []graph.Edge {
+	n := d.count(16)
+	if n == 0 {
+		return nil
+	}
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i].Src = d.u32()
+		edges[i].Dst = d.u32()
+		edges[i].W = graph.Weight(d.f64())
+	}
+	return edges
+}
+
+// --- application messages ---
+
+// dataRec is one routed protocol record: a candidate aimed at a vertex's
+// owner, or a shadow refresh the coordinator fans out to every other
+// worker. The wire twin of the simulation's clusterMsg.
+type dataRec struct {
+	V      uint32
+	Parent int32
+	Val    float64
+	Shadow bool
+}
+
+const dataRecLen = 4 + 4 + 8 + 1
+
+// wireWelcome transfers everything a joining worker needs: identity, the
+// algorithm, and either the full graph (fresh join) or the batch tail its
+// recovered WAL is missing (rejoin), plus the authoritative boundary state.
+type wireWelcome struct {
+	ID        int32
+	AlgName   string
+	Source    uint32
+	NumV      uint32
+	FlowCap   uint32
+	CkptEvery uint32
+	BatchSeq  uint64 // current boundary sequence
+	Full      bool
+	Edges     []graph.Edge // full mode: the entire current graph
+	Catchup   []graph.Batch
+	Vals      []float64
+	Parent    []int32
+}
+
+func encodeWelcome(w wireWelcome) []byte {
+	var e wireEnc
+	e.u8(mtWelcome)
+	e.i32(w.ID)
+	e.str(w.AlgName)
+	e.u32(w.Source)
+	e.u32(w.NumV)
+	e.u32(w.FlowCap)
+	e.u32(w.CkptEvery)
+	e.u64(w.BatchSeq)
+	e.boolByte(w.Full)
+	if w.Full {
+		encEdges(&e, w.Edges)
+	} else {
+		e.u32(uint32(len(w.Catchup)))
+		for _, b := range w.Catchup {
+			encBatch(&e, b)
+		}
+	}
+	encVals(&e, w.Vals)
+	encI32s(&e, w.Parent)
+	return e.b
+}
+
+func decodeWelcome(p []byte) (wireWelcome, error) {
+	d := wireDec{b: p}
+	var w wireWelcome
+	w.ID = d.i32()
+	w.AlgName = d.str()
+	w.Source = d.u32()
+	w.NumV = d.u32()
+	w.FlowCap = d.u32()
+	w.CkptEvery = d.u32()
+	w.BatchSeq = d.u64()
+	w.Full = d.u8() != 0
+	if w.Full {
+		w.Edges = decEdges(&d)
+	} else {
+		n := d.count(4) // each batch is at least a 4-byte count
+		w.Catchup = make([]graph.Batch, 0, n)
+		for i := 0; i < n && !d.bad; i++ {
+			w.Catchup = append(w.Catchup, decBatch(&d))
+		}
+	}
+	w.Vals = decVals(&d)
+	w.Parent = decI32s(&d)
+	return w, d.err("welcome")
+}
+
+// wireBatchStart launches (or after a recovery, relaunches) one batch: the
+// applied update list, the Manager's trim set, and the flow-worker table
+// for this attempt.
+type wireBatchStart struct {
+	Seq     uint64
+	Epoch   uint64
+	Applied graph.Batch // post-symmetrize updates that actually changed the graph
+	Trimmed []uint32
+	Assign  []int32 // flow -> worker id (length == numFlows, the validation handle)
+	ReRun   bool
+}
+
+func encodeBatchStart(m wireBatchStart) []byte {
+	var e wireEnc
+	e.u8(mtBatchStart)
+	e.u64(m.Seq)
+	e.u64(m.Epoch)
+	e.boolByte(m.ReRun)
+	encBatch(&e, m.Applied)
+	encU32s(&e, m.Trimmed)
+	encI32s(&e, m.Assign)
+	return e.b
+}
+
+func decodeBatchStart(p []byte) (wireBatchStart, error) {
+	d := wireDec{b: p}
+	var m wireBatchStart
+	m.Seq = d.u64()
+	m.Epoch = d.u64()
+	m.ReRun = d.u8() != 0
+	m.Applied = decBatch(&d)
+	m.Trimmed = decU32s(&d)
+	m.Assign = decI32s(&d)
+	return m, d.err("batch-start")
+}
+
+// wireData is a bundle of routed records tagged with the attempt epoch so
+// stale in-flight traffic from an aborted attempt is discarded on arrival.
+type wireData struct {
+	Epoch uint64
+	Recs  []dataRec
+}
+
+func encodeData(m wireData) []byte {
+	var e wireEnc
+	e.u8(mtData)
+	e.u64(m.Epoch)
+	e.u32(uint32(len(m.Recs)))
+	for _, r := range m.Recs {
+		e.u32(r.V)
+		e.i32(r.Parent)
+		e.f64(r.Val)
+		e.boolByte(r.Shadow)
+	}
+	return e.b
+}
+
+func decodeData(p []byte) (wireData, error) {
+	d := wireDec{b: p}
+	var m wireData
+	m.Epoch = d.u64()
+	n := d.count(dataRecLen)
+	m.Recs = make([]dataRec, n)
+	for i := range m.Recs {
+		m.Recs[i].V = d.u32()
+		m.Recs[i].Parent = d.i32()
+		m.Recs[i].Val = d.f64()
+		m.Recs[i].Shadow = d.u8() != 0
+	}
+	return m, d.err("data")
+}
+
+// wireIdle is a worker's quiescence report: it has drained its inbox and
+// worklist, having consumed Processed routed records and uploaded Uploaded.
+type wireIdle struct {
+	Epoch     uint64
+	Seq       uint64
+	Processed uint64
+	Uploaded  uint64
+}
+
+func encodeIdle(m wireIdle) []byte {
+	var e wireEnc
+	e.u8(mtIdle)
+	e.u64(m.Epoch)
+	e.u64(m.Seq)
+	e.u64(m.Processed)
+	e.u64(m.Uploaded)
+	return e.b
+}
+
+func decodeIdle(p []byte) (wireIdle, error) {
+	d := wireDec{b: p}
+	m := wireIdle{Epoch: d.u64(), Seq: d.u64(), Processed: d.u64(), Uploaded: d.u64()}
+	return m, d.err("idle")
+}
+
+// wireCollect asks a worker for its owned slice of the boundary state.
+type wireCollect struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+func encodeCollect(m wireCollect) []byte {
+	var e wireEnc
+	e.u8(mtCollect)
+	e.u64(m.Epoch)
+	e.u64(m.Seq)
+	return e.b
+}
+
+func decodeCollect(p []byte) (wireCollect, error) {
+	d := wireDec{b: p}
+	m := wireCollect{Epoch: d.u64(), Seq: d.u64()}
+	return m, d.err("collect")
+}
+
+// collectRec is one owned vertex's authoritative boundary state.
+type collectRec struct {
+	V      uint32
+	Parent int32
+	Val    float64
+}
+
+const collectRecLen = 4 + 4 + 8
+
+type wireCollectReply struct {
+	Epoch uint64
+	Seq   uint64
+	Recs  []collectRec
+}
+
+func encodeCollectReply(m wireCollectReply) []byte {
+	var e wireEnc
+	e.u8(mtCollectReply)
+	e.u64(m.Epoch)
+	e.u64(m.Seq)
+	e.u32(uint32(len(m.Recs)))
+	for _, r := range m.Recs {
+		e.u32(r.V)
+		e.i32(r.Parent)
+		e.f64(r.Val)
+	}
+	return e.b
+}
+
+func decodeCollectReply(p []byte) (wireCollectReply, error) {
+	d := wireDec{b: p}
+	var m wireCollectReply
+	m.Epoch = d.u64()
+	m.Seq = d.u64()
+	n := d.count(collectRecLen)
+	m.Recs = make([]collectRec, n)
+	for i := range m.Recs {
+		m.Recs[i].V = d.u32()
+		m.Recs[i].Parent = d.i32()
+		m.Recs[i].Val = d.f64()
+	}
+	return m, d.err("collect-reply")
+}
+
+// wireCkpt carries checkpoint commands and completions (seq only).
+type wireCkpt struct{ Seq uint64 }
+
+func encodeCkpt(mt byte, m wireCkpt) []byte {
+	var e wireEnc
+	e.u8(mt)
+	e.u64(m.Seq)
+	return e.b
+}
+
+func decodeCkpt(p []byte) (wireCkpt, error) {
+	d := wireDec{b: p}
+	m := wireCkpt{Seq: d.u64()}
+	return m, d.err("checkpoint")
+}
+
+// encodeBye / encodeJoinReject carry a human-readable reason.
+func encodeReason(mt byte, reason string) []byte {
+	var e wireEnc
+	e.u8(mt)
+	e.str(reason)
+	return e.b
+}
+
+func decodeReason(p []byte) (string, error) {
+	d := wireDec{b: p}
+	s := d.str()
+	return s, d.err("reason")
+}

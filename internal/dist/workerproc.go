@@ -1,0 +1,641 @@
+package dist
+
+// Worker process runtime: the socket twin of the sim's clusterNode, run by
+// cmd/graphfly-worker (or in-process by tests). A worker holds a full
+// replica of the graph structure and the value/parent/trimmed arrays,
+// computes its flow partition locally from the boundary parents (the
+// partition is a deterministic function of the parent array, and every
+// replica's parents agree at quiescent boundaries, so worker and
+// coordinator derive identical flow tables without shipping them — only the
+// flow -> worker assignment travels), processes its owned vertices with the
+// same fused refine/recompute the sim uses, and routes everything
+// cross-worker through the coordinator.
+//
+// Durability: every applied batch is fsynced into the worker's WAL before
+// processing, and on CkptCmd the worker writes a frame-composed checkpoint
+// (wckpt.go) carrying the KindDistCheckpoint state frame. After a kill -9,
+// the restarted process rebuilds its graph from the newest intact
+// checkpoint, replays the WAL tail structurally, and presents the recovered
+// position in its hello; the coordinator tops it up with the missing batch
+// tail and the authoritative boundary state.
+//
+// Shutdown: a cancelled context (SIGTERM/SIGINT in the binary) sends Bye,
+// flushes the WAL, writes a final checkpoint, and exits cleanly.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/dflow"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/wal"
+)
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Addr is the coordinator's address.
+	Addr string
+	// Dir holds the worker's WAL and checkpoints; created if missing.
+	Dir string
+	// ID is the worker id to present; -1 asks the coordinator to assign
+	// one. Restarted workers should present their previous id so the
+	// coordinator matches the rejoin to the dead membership slot.
+	ID int
+	// ConnectTimeout bounds the initial dial retry loop (default 30s).
+	ConnectTimeout time.Duration
+	// Link timer overrides (zero = defaults; must match the coordinator's
+	// order of magnitude for heartbeats to make sense).
+	HeartbeatEvery time.Duration
+	RetransBase    time.Duration
+	PeerTimeout    time.Duration
+	MaxRetries     int
+	// Metrics receives dist.* and wal.* instruments when non-nil.
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives human-readable progress lines.
+	Logf func(format string, args ...any)
+
+	// HardStop (tests and chaos harnesses only) simulates kill -9: when it
+	// closes, RunWorker returns at once with no bye, no WAL flush beyond
+	// what already synced, and no final checkpoint — exactly the state a
+	// SIGKILLed process leaves behind.
+	HardStop <-chan struct{}
+}
+
+func (c WorkerConfig) connectTimeout() time.Duration {
+	if c.ConnectTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.ConnectTimeout
+}
+
+func (c WorkerConfig) linkConfig() linkConfig {
+	return linkConfig{
+		HeartbeatEvery: c.HeartbeatEvery,
+		RetransBase:    c.RetransBase,
+		PeerTimeout:    c.PeerTimeout,
+		MaxRetries:     c.MaxRetries,
+	}
+}
+
+// mailbox is an unbounded FIFO the link reader pushes decoded messages
+// into; the worker goroutine drains it. Never blocks the reader.
+type mailbox struct {
+	mu sync.Mutex
+	q  []wmsg
+	ch chan struct{}
+}
+
+type wmsg struct {
+	mt   byte
+	body []byte
+}
+
+func newMailbox() *mailbox { return &mailbox{ch: make(chan struct{}, 1)} }
+
+func (m *mailbox) push(mt byte, body []byte) {
+	m.mu.Lock()
+	m.q = append(m.q, wmsg{mt: mt, body: body})
+	m.mu.Unlock()
+	select {
+	case m.ch <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) popAll() []wmsg {
+	m.mu.Lock()
+	q := m.q
+	m.q = nil
+	m.mu.Unlock()
+	return q
+}
+
+// errByeReceived signals a graceful coordinator-initiated shutdown.
+var errByeReceived = errors.New("dist: coordinator sent bye")
+
+// outboxChunk bounds how many records ride in one mtData frame.
+const outboxChunk = 1 << 16
+
+// workerRt is the in-memory runtime of one worker process.
+type workerRt struct {
+	cfg   WorkerConfig
+	store *workerStore
+	link  *link
+
+	id        int32
+	g         *graph.Streaming
+	alg       algo.Selective
+	flowCap   int
+	structSeq uint64
+	welcomed  bool
+
+	vals    []float64
+	parent  []int32
+	trimmed []bool
+	owner   []int32
+	mineID  int32
+	peers   bool // any flow assigned to a different worker this attempt
+
+	epoch uint64
+	seq   uint64
+
+	snapSeq     uint64
+	snapValid   bool
+	snapVals    []float64
+	snapParent  []int32
+	snapTrimmed []bool
+
+	wl        []uint32
+	inbox     []dataRec
+	outbox    []dataRec
+	processed uint64
+	uploaded  uint64
+	idleSentP uint64
+	idleSentU uint64
+	idleSent  bool
+}
+
+func (w *workerRt) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// RunWorker connects to the coordinator and processes batches until the
+// context is cancelled (graceful shutdown), the coordinator says bye, or
+// the link degrades to ErrPeerDown (the caller should exit nonzero so a
+// supervisor can respawn the process).
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	store, err := openWorkerStore(cfg.Dir, reg)
+	if err != nil {
+		return err
+	}
+	defer store.close()
+
+	w := &workerRt{cfg: cfg, store: store, id: int32(cfg.ID)}
+	// Local recovery: newest intact checkpoint + structural WAL replay.
+	ck, err := store.loadCkpt()
+	if err != nil {
+		return err
+	}
+	hasBase := false
+	var ckptSeq uint64
+	if ck != nil {
+		w.g = graph.FromEdges(ck.NumV, ck.Edges)
+		w.structSeq = ck.Seq
+		ckptSeq = ck.Seq
+		hasBase = true
+		err := store.replay(ck.Seq, func(seq uint64, b graph.Batch) error {
+			w.g.ApplyBatch(b)
+			w.structSeq = seq
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		w.logf("worker: recovered base ckpt seq %d, wal tail through seq %d", ck.Seq, w.structSeq)
+	}
+
+	incarnation := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32
+	hello := encodeHello(wireHello{
+		ID: w.id, Incarnation: incarnation,
+		StructSeq: w.structSeq, CkptSeq: ckptSeq, HasBase: hasBase,
+	})
+
+	lcfg := cfg.linkConfig()
+	dial := func() (net.Conn, error) {
+		d := net.Dialer{Timeout: lcfg.peerTimeout()}
+		return d.Dial("tcp", cfg.Addr)
+	}
+	conn, err := dialRetry(ctx, dial, cfg.connectTimeout())
+	if err != nil {
+		return fmt.Errorf("dist: worker connect: %w", err)
+	}
+	if err := wal.WriteFrame(conn, wkHello, hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: worker hello: %w", err)
+	}
+
+	mb := newMailbox()
+	downCh := make(chan error, 1)
+	l := newLink(lcfg, newLinkMetrics(reg),
+		func(mt byte, body []byte) { mb.push(mt, body) },
+		func(err error) { downCh <- err })
+	l.dial = dial
+	l.hello = hello
+	l.attach(conn)
+	w.link = l
+	defer l.close()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return w.shutdown()
+		case <-cfg.HardStop:
+			return errors.New("dist: worker hard-stopped (simulated crash)")
+		case err := <-downCh:
+			return err
+		case <-mb.ch:
+			for _, m := range mb.popAll() {
+				if err := w.handle(m.mt, m.body); err != nil {
+					if errors.Is(err, errByeReceived) {
+						return nil
+					}
+					return err
+				}
+			}
+		}
+	}
+}
+
+// dialRetry dials until success, ctx cancellation, or the timeout — a
+// worker often starts before the coordinator's listener is up.
+func dialRetry(ctx context.Context, dial func() (net.Conn, error), timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := dial()
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// shutdown is the graceful exit path: announce, flush, final checkpoint.
+func (w *workerRt) shutdown() error {
+	w.link.Send(encodeReason(mtBye, "worker shutting down"))
+	if w.welcomed {
+		if err := w.store.checkpoint(w.structSeq, w.g, w.vals, w.parent); err != nil {
+			return err
+		}
+	}
+	w.logf("worker %d: graceful shutdown at seq %d", w.id, w.structSeq)
+	return nil
+}
+
+func (w *workerRt) handle(mt byte, body []byte) error {
+	if !w.welcomed && mt != mtWelcome && mt != mtBye && mt != mtJoinReject {
+		return fmt.Errorf("dist: worker got message %d before welcome", mt)
+	}
+	switch mt {
+	case mtWelcome:
+		m, err := decodeWelcome(body)
+		if err != nil {
+			return err
+		}
+		return w.handleWelcome(m)
+	case mtBatchStart:
+		m, err := decodeBatchStart(body)
+		if err != nil {
+			return err
+		}
+		return w.handleBatchStart(m)
+	case mtData:
+		m, err := decodeData(body)
+		if err != nil {
+			return err
+		}
+		return w.handleData(m)
+	case mtCollect:
+		m, err := decodeCollect(body)
+		if err != nil {
+			return err
+		}
+		return w.handleCollect(m)
+	case mtCkptCmd:
+		m, err := decodeCkpt(body)
+		if err != nil {
+			return err
+		}
+		if err := w.store.checkpoint(m.Seq, w.g, w.vals, w.parent); err != nil {
+			return err
+		}
+		return w.link.Send(encodeCkpt(mtCkptDone, m))
+	case mtJoinReject:
+		reason, _ := decodeReason(body)
+		return fmt.Errorf("dist: join rejected: %s", reason)
+	case mtBye:
+		return errByeReceived
+	default:
+		return nil // unknown message: ignore for forward compatibility
+	}
+}
+
+// handleWelcome installs the transferred state: either a full graph dump
+// (fresh or divergent worker — the local store is wiped and re-based) or
+// the batch tail the local WAL was missing.
+func (w *workerRt) handleWelcome(m wireWelcome) error {
+	alg, err := selectiveByName(m.AlgName, m.Source)
+	if err != nil {
+		return err
+	}
+	w.alg = alg
+	w.id = m.ID
+	w.flowCap = int(m.FlowCap)
+	if m.Full {
+		if err := w.store.wipe(); err != nil {
+			return err
+		}
+		w.g = graph.FromEdges(int(m.NumV), m.Edges)
+		w.structSeq = m.BatchSeq
+	} else {
+		if w.g == nil || w.structSeq+uint64(len(m.Catchup)) != m.BatchSeq {
+			return fmt.Errorf("dist: welcome catchup %d batches onto seq %d cannot reach seq %d",
+				len(m.Catchup), w.structSeq, m.BatchSeq)
+		}
+		for i, b := range m.Catchup {
+			w.g.ApplyBatch(b)
+			if err := w.store.appendBatch(w.structSeq+1+uint64(i), b); err != nil {
+				return err
+			}
+		}
+		w.structSeq = m.BatchSeq
+	}
+	if len(m.Vals) != w.g.NumVertices() || len(m.Parent) != w.g.NumVertices() {
+		return fmt.Errorf("dist: welcome state arrays (%d/%d) disagree with %d vertices",
+			len(m.Vals), len(m.Parent), w.g.NumVertices())
+	}
+	w.vals = append([]float64(nil), m.Vals...)
+	w.parent = append([]int32(nil), m.Parent...)
+	w.trimmed = make([]bool, w.g.NumVertices())
+	w.snapValid = false
+	if m.Full {
+		// Re-base the wiped store so the next restart has a graph to
+		// recover from even before the first commanded checkpoint.
+		if err := w.store.checkpoint(w.structSeq, w.g, w.vals, w.parent); err != nil {
+			return err
+		}
+	}
+	w.welcomed = true
+	w.logf("worker %d: welcomed at seq %d (full=%v, catchup=%d, %d vertices)",
+		w.id, w.structSeq, m.Full, len(m.Catchup), w.g.NumVertices())
+	return nil
+}
+
+// handleBatchStart begins one attempt of one batch: apply (or re-run)
+// structure, derive the flow partition locally, install trims, seed
+// addition candidates, and process to local quiescence.
+func (w *workerRt) handleBatchStart(m wireBatchStart) error {
+	switch {
+	case !m.ReRun && m.Seq == w.structSeq+1:
+		w.g.ApplyBatch(m.Applied)
+		if err := w.store.appendBatch(m.Seq, m.Applied); err != nil {
+			return err
+		}
+		w.structSeq = m.Seq
+		w.snapshot(m.Seq)
+	case m.Seq == w.structSeq:
+		// A re-run attempt (or our first sight of a batch we had already
+		// logged before dying). Roll values back to the batch-start
+		// snapshot when we have one; otherwise the just-welcomed state IS
+		// the batch-start state — snapshot it for any further re-run.
+		if w.snapValid && w.snapSeq == m.Seq {
+			copy(w.vals, w.snapVals)
+			copy(w.parent, w.snapParent)
+			copy(w.trimmed, w.snapTrimmed)
+		} else {
+			w.snapshot(m.Seq)
+		}
+	default:
+		return fmt.Errorf("dist: batch-start seq %d (rerun=%v) does not follow local seq %d",
+			m.Seq, m.ReRun, w.structSeq)
+	}
+
+	w.epoch = m.Epoch
+	w.seq = m.Seq
+	w.inbox = w.inbox[:0]
+	w.wl = w.wl[:0]
+	w.outbox = w.outbox[:0]
+	w.processed, w.uploaded = 0, 0
+	w.idleSent = false
+
+	// Derive the flow table locally; the assignment length is the
+	// cross-check that coordinator and worker computed the same partition.
+	part := dflow.NewPartitionFromParents(w.parent, w.flowCap)
+	if part.NumFlows() != len(m.Assign) {
+		return fmt.Errorf("dist: local partition has %d flows, assignment has %d — replica divergence",
+			part.NumFlows(), len(m.Assign))
+	}
+	if len(w.owner) != w.g.NumVertices() {
+		w.owner = make([]int32, w.g.NumVertices())
+	}
+	w.peers = false
+	for f := int32(0); int(f) < part.NumFlows(); f++ {
+		o := m.Assign[f]
+		if o != w.id {
+			w.peers = true
+		}
+		for _, v := range part.Members(f) {
+			w.owner[v] = o
+		}
+	}
+
+	// Trim invalidations: flags everywhere, refinement work for the owner.
+	for _, x := range m.Trimmed {
+		if int(x) >= len(w.trimmed) {
+			return fmt.Errorf("dist: trimmed vertex %d out of range", x)
+		}
+		w.trimmed[x] = true
+		if w.owner[x] == w.id {
+			w.wl = append(w.wl, x)
+		}
+	}
+	// Addition candidates from owned, untrimmed sources.
+	for _, u := range m.Applied {
+		if u.Del || w.owner[u.Src] != w.id || w.trimmed[u.Src] {
+			continue
+		}
+		cand := w.alg.Propagate(w.vals[u.Src], u.W)
+		rec := dataRec{V: u.Dst, Parent: int32(u.Src), Val: cand}
+		if w.owner[u.Dst] == w.id {
+			w.inbox = append(w.inbox, rec)
+		} else {
+			w.outbox = append(w.outbox, rec)
+		}
+	}
+	w.drainAndReport()
+	return nil
+}
+
+// snapshot records the batch-start value state for rollback re-runs.
+func (w *workerRt) snapshot(seq uint64) {
+	w.snapSeq = seq
+	w.snapValid = true
+	w.snapVals = append(w.snapVals[:0], w.vals...)
+	w.snapParent = append(w.snapParent[:0], w.parent...)
+	w.snapTrimmed = append(w.snapTrimmed[:0], w.trimmed...)
+}
+
+func (w *workerRt) handleData(m wireData) error {
+	if m.Epoch != w.epoch {
+		return nil // stale attempt
+	}
+	w.processed += uint64(len(m.Recs))
+	w.inbox = append(w.inbox, m.Recs...)
+	w.drainAndReport()
+	return nil
+}
+
+func (w *workerRt) handleCollect(m wireCollect) error {
+	if m.Epoch != w.epoch || m.Seq != w.seq {
+		return nil
+	}
+	recs := make([]collectRec, len(w.vals))
+	for v := range w.vals {
+		recs[v] = collectRec{V: uint32(v), Parent: w.parent[v], Val: w.vals[v]}
+	}
+	return w.link.Send(encodeCollectReply(wireCollectReply{Epoch: m.Epoch, Seq: m.Seq, Recs: recs}))
+}
+
+// drainAndReport processes until the inbox and worklist are empty, flushes
+// the outbox upward, and reports idleness with the quiescence counters.
+func (w *workerRt) drainAndReport() {
+	for len(w.inbox) > 0 || len(w.wl) > 0 {
+		inbox := w.inbox
+		w.inbox = nil
+		for _, r := range inbox {
+			w.applyRec(r)
+		}
+		for head := 0; head < len(w.wl); head++ {
+			w.processVertex(w.wl[head])
+		}
+		w.wl = w.wl[:0]
+	}
+	w.flushOutbox()
+	if !w.idleSent || w.idleSentP != w.processed || w.idleSentU != w.uploaded {
+		w.idleSent, w.idleSentP, w.idleSentU = true, w.processed, w.uploaded
+		w.link.Send(encodeIdle(wireIdle{
+			Epoch: w.epoch, Seq: w.seq, Processed: w.processed, Uploaded: w.uploaded,
+		}))
+	}
+}
+
+// applyRec is the inbox half of the sim's processNode.
+func (w *workerRt) applyRec(r dataRec) {
+	if int(r.V) >= len(w.vals) {
+		return
+	}
+	if r.Shadow {
+		// Shadow refresh: unconditional overwrite + revalidation, then
+		// re-relax owned out-neighbours of the refreshed vertex.
+		w.vals[r.V] = r.Val
+		w.parent[r.V] = r.Parent
+		w.trimmed[r.V] = false
+		for _, h := range w.g.Out(r.V) {
+			if w.owner[h.To] == w.id {
+				cand := w.alg.Propagate(r.Val, h.W)
+				if w.trimmed[h.To] {
+					w.refine(h.To)
+				}
+				if w.alg.Better(cand, w.vals[h.To]) {
+					w.update(h.To, cand, int32(r.V))
+				}
+			}
+		}
+		return
+	}
+	if w.trimmed[r.V] {
+		w.refine(r.V)
+	}
+	if w.alg.Better(r.Val, w.vals[r.V]) {
+		w.update(r.V, r.Val, r.Parent)
+	}
+}
+
+// processVertex is the worklist half of the sim's processNode.
+func (w *workerRt) processVertex(v uint32) {
+	if w.trimmed[v] {
+		w.refine(v)
+	}
+	uVal := w.vals[v]
+	for _, h := range w.g.Out(v) {
+		cand := w.alg.Propagate(uVal, h.W)
+		t := h.To
+		if w.owner[t] == w.id {
+			if w.trimmed[t] {
+				w.refine(t)
+			}
+			if w.alg.Better(cand, w.vals[t]) {
+				w.update(t, cand, int32(v))
+			}
+		} else if w.trimmed[t] || w.alg.Better(cand, w.vals[t]) {
+			w.outbox = append(w.outbox, dataRec{V: t, Parent: int32(v), Val: cand})
+		}
+	}
+}
+
+// refine resets an owned trimmed vertex from its local (possibly stale,
+// always safe) view — the sim's refine/refineFrom with the base floor.
+func (w *workerRt) refine(v uint32) {
+	best := w.alg.Base(v)
+	bestParent := int32(-1)
+	for _, h := range w.g.In(v) {
+		if w.trimmed[h.To] {
+			continue
+		}
+		cand := w.alg.Propagate(w.vals[h.To], h.W)
+		if w.alg.Better(cand, best) {
+			best = cand
+			bestParent = int32(h.To)
+		}
+	}
+	w.vals[v] = best
+	w.parent[v] = bestParent
+	w.trimmed[v] = false
+	w.wl = append(w.wl, v)
+	w.broadcastShadow(v)
+}
+
+// update improves an owned vertex and broadcasts the change.
+func (w *workerRt) update(v uint32, val float64, parent int32) {
+	w.vals[v] = val
+	w.parent[v] = parent
+	w.wl = append(w.wl, v)
+	w.broadcastShadow(v)
+}
+
+// broadcastShadow emits one shadow record; the coordinator fans it out to
+// every other worker. Skipped when this worker owns every flow.
+func (w *workerRt) broadcastShadow(v uint32) {
+	if !w.peers {
+		return
+	}
+	w.outbox = append(w.outbox, dataRec{V: v, Parent: w.parent[v], Val: w.vals[v], Shadow: true})
+}
+
+// flushOutbox ships accumulated records to the coordinator in bounded
+// chunks and advances the uploaded counter.
+func (w *workerRt) flushOutbox() {
+	for len(w.outbox) > 0 {
+		n := len(w.outbox)
+		if n > outboxChunk {
+			n = outboxChunk
+		}
+		chunk := w.outbox[:n]
+		if err := w.link.Send(encodeData(wireData{Epoch: w.epoch, Recs: chunk})); err != nil {
+			w.outbox = w.outbox[:0]
+			return // link degraded; the main loop will exit via onDown
+		}
+		w.uploaded += uint64(n)
+		w.outbox = w.outbox[n:]
+	}
+	w.outbox = w.outbox[:0]
+}

@@ -438,7 +438,7 @@ func All(sc Scale) []Table {
 	return []Table{
 		Table1(sc), Fig4a(sc), Fig4b(sc), Fig11(sc), Fig12(sc), Fig13(sc),
 		Fig14a(sc), Fig14b(sc), Fig15a(sc), Fig15b(sc), Fig16(sc), Fig17(sc),
-		FigS1(sc), FigS2(sc), FigS3(sc),
+		FigS1(sc), FigS2(sc), FigS3(sc), FigS4(sc),
 	}
 }
 
@@ -476,6 +476,8 @@ func ByID(id string) (func(Scale) Table, bool) {
 		return FigS2, true
 	case "s3", "durability":
 		return FigS3, true
+	case "s4", "recovery":
+		return FigS4, true
 	}
 	return nil, false
 }

@@ -1,0 +1,187 @@
+package expr
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+)
+
+// FigS4 is this reproduction's crash-recovery latency figure for the
+// real-socket multi-process runtime (no paper counterpart; the paper's
+// cluster is assumed reliable). A coordinator plus N workers run an SSSP
+// stream over loopback TCP with per-worker WALs; on alternating batches
+// one worker is killed mid-batch (the HardStop hook — the in-process
+// equivalent of kill -9), the survivors roll back and re-run the batch,
+// and the victim restarts from its WAL and rejoins at the next boundary.
+// The columns price both halves of the protocol: recovery latency is
+// death-detection through the re-run batch completing (dist.recovery_ns),
+// rejoin latency is hello through admission (dist.rejoin_ns). Reconnect
+// and retransmit counts come from the reliable link layer. Every run ends
+// with a bit-exactness check against the single-machine oracle; a
+// diverged run reports NA rather than a latency for a wrong answer.
+func FigS4(sc Scale) Table {
+	t := Table{
+		ID:    "Fig S4",
+		Title: "Crash recovery in the socket runtime: kill -9 mid-batch, WAL replay, rejoin (SSSP/LJ)",
+		Header: []string{"Workers", "Batches", "Crashes", "Recover p50 ms", "Recover p95 ms",
+			"Rejoin p50 ms", "Reconnects", "Retransmits", "Rebalances"},
+	}
+	// Recovery is priced per crash, so give each run enough batches for
+	// several kill/rejoin cycles.
+	if sc.Batches < 6 {
+		sc.Batches = 6
+	}
+	w := workload("LJ", sc, 0.3, 0x54)
+	for _, n := range []int{2, 3} {
+		reg := metrics.NewRegistry()
+		crashes, ok := runS4(w, n, reg)
+		recov := reg.Histogram("dist.recovery_ns")
+		rejoin := reg.Histogram("dist.rejoin_ns")
+		hms := func(h *metrics.Histogram, q float64) Cell {
+			if !ok || h.Count() == 0 {
+				return NA()
+			}
+			return Float(float64(h.Quantile(q))/1e6, 1)
+		}
+		count := func(name string) Cell {
+			if !ok {
+				return NA()
+			}
+			return IntCell(int(reg.Counter(name).Value()))
+		}
+		if shared := sc.registry(); shared != nil && ok {
+			prefix := fmt.Sprintf("s4.n%d.", n)
+			shared.Gauge(prefix + "recovery_p95_ns").Set(float64(recov.Quantile(0.95)))
+			shared.Gauge(prefix + "rejoin_p95_ns").Set(float64(rejoin.Quantile(0.95)))
+			shared.Counter(prefix + "reconnects").Add(reg.Counter("dist.reconnects").Value())
+			shared.Counter(prefix + "retransmits").Add(reg.Counter("dist.retransmits").Value())
+			shared.Counter(prefix + "rebalances").Add(reg.Counter("dist.rebalances").Value())
+		}
+		t.AddRow(IntCell(n), IntCell(len(w.Batches)), IntCell(crashes),
+			hms(recov, 0.5), hms(recov, 0.95), hms(rejoin, 0.5),
+			count("dist.reconnects"), count("dist.retransmits"), count("dist.rebalances"))
+	}
+	return t
+}
+
+// s4Worker is one in-process worker of the figure's cluster.
+type s4Worker struct {
+	id     int
+	dir    string
+	cancel context.CancelFunc
+	hard   chan struct{}
+	done   chan error
+}
+
+func startS4Worker(addr, dir string, id int) *s4Worker {
+	ctx, cancel := context.WithCancel(context.Background())
+	sw := &s4Worker{
+		id: id, dir: dir, cancel: cancel,
+		hard: make(chan struct{}),
+		done: make(chan error, 1),
+	}
+	go func() {
+		sw.done <- dist.RunWorker(ctx, dist.WorkerConfig{
+			Addr: addr, Dir: dir, ID: id,
+			ConnectTimeout: 20 * time.Second,
+			HeartbeatEvery: 20 * time.Millisecond,
+			RetransBase:    25 * time.Millisecond,
+			PeerTimeout:    400 * time.Millisecond,
+			MaxRetries:     10,
+			HardStop:       sw.hard,
+		})
+	}()
+	return sw
+}
+
+// runS4 drives one cluster size through the stream with mid-batch kills on
+// alternating batches, returning the crash count and whether the run both
+// completed and converged bit-exactly with the single-machine oracle.
+func runS4(w gen.Workload, n int, reg *metrics.Registry) (crashes int, ok bool) {
+	alg := algo.SSSP{Src: 0}
+	base, err := os.MkdirTemp("", "graphfly-s4-")
+	if err != nil {
+		return 0, false
+	}
+	defer os.RemoveAll(base)
+
+	coord, err := dist.NewCoordinator(buildGraph(w, false), alg, dist.CoordConfig{
+		Addr:           "127.0.0.1:0",
+		CkptEvery:      2,
+		HeartbeatEvery: 20 * time.Millisecond,
+		RetransBase:    25 * time.Millisecond,
+		PeerTimeout:    400 * time.Millisecond,
+		MaxRetries:     10,
+		Metrics:        reg,
+	})
+	if err != nil {
+		return 0, false
+	}
+	workers := make(map[int]*s4Worker, n)
+	reap := func(sw *s4Worker) {
+		select {
+		case <-sw.done:
+		case <-time.After(10 * time.Second):
+		}
+		sw.cancel()
+	}
+	defer func() {
+		coord.Close()
+		for _, sw := range workers {
+			reap(sw)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		workers[i] = startS4Worker(coord.Addr(), filepath.Join(base, fmt.Sprintf("worker-%d", i)), i)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = coord.WaitForWorkers(waitCtx, n)
+	cancel()
+	if err != nil {
+		return 0, false
+	}
+
+	ref := buildGraph(w, false)
+	for bi, b := range w.Batches {
+		var victim *s4Worker
+		if bi%2 == 1 {
+			victim = workers[bi/2%n]
+			go func() {
+				time.Sleep(time.Millisecond)
+				close(victim.hard)
+			}()
+		}
+		if err := coord.ProcessBatch(context.Background(), b); err != nil {
+			return crashes, false
+		}
+		ref.ApplyBatch(b)
+		if victim != nil {
+			reap(victim)
+			crashes++
+			workers[victim.id] = startS4Worker(coord.Addr(), victim.dir, victim.id)
+			waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := coord.WaitForWorkers(waitCtx, n)
+			cancel()
+			if err != nil {
+				return crashes, false
+			}
+		}
+	}
+
+	want, _ := algo.SolveSelective(ref, alg)
+	got := coord.Values()
+	for v := range want {
+		if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+			return crashes, false
+		}
+	}
+	return crashes, true
+}

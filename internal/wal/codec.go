@@ -170,6 +170,28 @@ func DecodeBatch(p []byte) (seq uint64, b graph.Batch, err error) {
 	return seq, b, nil
 }
 
+// EncodeDistCheckpoint encodes a distributed worker's checkpoint payload:
+// the batch sequence the state is consistent with, followed by the state
+// section. It is the payload carried by KindDistCheckpoint frames inside
+// per-worker checkpoint files (internal/dist's socket runtime); the
+// Manager-side cluster checkpoint (dist.SaveCheckpoint) predates the seq
+// prefix and keeps its bare EncodeState payload.
+func EncodeDistCheckpoint(buf []byte, seq uint64, vals []float64, parent []int32) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	return EncodeState(buf, vals, parent)
+}
+
+// DecodeDistCheckpoint decodes EncodeDistCheckpoint's payload with the same
+// validation discipline as DecodeState.
+func DecodeDistCheckpoint(p []byte, numVals, numV int) (seq uint64, vals []float64, parent []int32, err error) {
+	if len(p) < 8 {
+		return 0, nil, nil, fmt.Errorf("%w: dist checkpoint payload %d bytes", ErrCorrupt, len(p))
+	}
+	seq = binary.LittleEndian.Uint64(p[0:8])
+	vals, parent, err = DecodeState(p[8:], numVals, numV)
+	return seq, vals, parent, err
+}
+
 // EncodeEdges encodes an edge list (a snapshot's graph section).
 func EncodeEdges(buf []byte, edges []graph.Edge) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(edges)))

@@ -36,6 +36,9 @@ go run ./cmd/graphfly -algo SSSP -dataset LJ -nEdges 1000 -numberOfUpdateBatches
 grep -q '^recovered ' "$waltmp/resume.out"
 rm -rf "$waltmp"
 
+echo "== multi-process crash-restart smoke (3 workers, SIGKILL one, oracle-equal) =="
+timeout 300 go test -count=1 -run 'TestProcCrashRestartSmoke' ./internal/dist
+
 echo "== chaos smoke (seeded fault injection, distributed SSSP) =="
 go run ./cmd/graphfly -algo SSSP -dataset TT -nEdges 2000 -numberOfUpdateBatches 3 \
     -nodes 4 -faults seed=7,drop=0.1,dup=0.05,delay=0.2,reorder=0.1,crash=0.01,maxcrashes=2,crashat=1:5:2
