@@ -344,9 +344,15 @@ func main() {
 	}
 	if durable != nil {
 		if interrupted {
-			// Final checkpoint so a later run recovers instantly instead of
-			// replaying the whole log tail.
-			if err := durable.Snapshot(); err != nil {
+			if durable.Dirty() {
+				// The signal landed mid-batch: the engine state is between
+				// boundaries and must not be snapshotted. The batch is
+				// already in the WAL; recovery replays it onto the last
+				// good snapshot.
+				fmt.Fprintln(os.Stderr, "graphfly: interrupted mid-batch — skipping final snapshot; recovery will replay the WAL tail")
+			} else if err := durable.Snapshot(); err != nil {
+				// Final checkpoint so a later run recovers instantly instead
+				// of replaying the whole log tail.
 				fmt.Fprintf(os.Stderr, "graphfly: final snapshot: %v\n", err)
 				os.Exit(1)
 			}

@@ -16,7 +16,6 @@ package dist
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 
 	"repro/internal/graph"
 	"repro/internal/wal"
@@ -82,203 +81,115 @@ func decodeHello(p []byte) (wireHello, error) {
 	}, nil
 }
 
-// --- primitive append/read helpers ---
-
-type wireEnc struct{ b []byte }
-
-func (e *wireEnc) u8(v byte)     { e.b = append(e.b, v) }
-func (e *wireEnc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
-func (e *wireEnc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
-func (e *wireEnc) i32(v int32)   { e.u32(uint32(v)) }
-func (e *wireEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
-func (e *wireEnc) str(s string) {
-	e.u32(uint32(len(s)))
-	e.b = append(e.b, s...)
-}
-func (e *wireEnc) boolByte(v bool) {
-	if v {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
-}
-
-// wireDec is a sticky-error cursor: after the first violation every read
-// returns zero values and err() reports the failure.
-type wireDec struct {
-	b   []byte
-	bad bool
-}
-
-func (d *wireDec) fail() { d.bad = true }
-func (d *wireDec) take(n int) []byte {
-	if d.bad || len(d.b) < n {
-		d.fail()
-		return nil
-	}
-	p := d.b[:n]
-	d.b = d.b[n:]
-	return p
-}
-func (d *wireDec) u8() byte {
-	p := d.take(1)
-	if p == nil {
-		return 0
-	}
-	return p[0]
-}
-func (d *wireDec) u32() uint32 {
-	p := d.take(4)
-	if p == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint32(p)
-}
-func (d *wireDec) u64() uint64 {
-	p := d.take(8)
-	if p == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(p)
-}
-func (d *wireDec) i32() int32   { return int32(d.u32()) }
-func (d *wireDec) f64() float64 { return math.Float64frombits(d.u64()) }
-func (d *wireDec) str() string {
-	n := int(d.u32())
-	if n < 0 || n > len(d.b) {
-		d.fail()
-		return ""
-	}
-	return string(d.take(n))
-}
-
-// count reads a length prefix and validates it against the remaining bytes
-// at elemLen bytes per element, so a hostile count can never drive an
-// allocation past the payload it arrived in.
-func (d *wireDec) count(elemLen int) int {
-	n := int(d.u32())
-	if d.bad || n < 0 || n*elemLen > len(d.b) {
-		d.fail()
-		return 0
-	}
-	return n
-}
-
-func (d *wireDec) err(what string) error {
-	if d.bad {
-		return fmt.Errorf("%w: malformed %s message", wal.ErrCorrupt, what)
-	}
-	if len(d.b) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes after %s message", wal.ErrCorrupt, len(d.b), what)
-	}
-	return nil
-}
-
 // --- compound sections ---
+//
+// The primitive append/read cursors live in the wal package (wal.Enc /
+// wal.Dec) so the serving front-end's session protocol and this cluster
+// protocol share one validation discipline.
 
 const updateLen = 4 + 4 + 8 + 1
 
-func encBatch(e *wireEnc, b graph.Batch) {
-	e.u32(uint32(len(b)))
+func encBatch(e *wal.Enc, b graph.Batch) {
+	e.U32(uint32(len(b)))
 	for _, u := range b {
-		e.u32(u.Src)
-		e.u32(u.Dst)
-		e.f64(float64(u.W))
-		e.boolByte(u.Del)
+		e.U32(u.Src)
+		e.U32(u.Dst)
+		e.F64(float64(u.W))
+		e.Bool(u.Del)
 	}
 }
 
-func decBatch(d *wireDec) graph.Batch {
-	n := d.count(updateLen)
+func decBatch(d *wal.Dec) graph.Batch {
+	n := d.Count(updateLen)
 	if n == 0 {
 		return nil
 	}
 	b := make(graph.Batch, n)
 	for i := range b {
-		b[i].Src = d.u32()
-		b[i].Dst = d.u32()
-		b[i].W = graph.Weight(d.f64())
-		b[i].Del = d.u8() != 0
+		b[i].Src = d.U32()
+		b[i].Dst = d.U32()
+		b[i].W = graph.Weight(d.F64())
+		b[i].Del = d.U8() != 0
 	}
 	return b
 }
 
-func encVals(e *wireEnc, vals []float64) {
-	e.u32(uint32(len(vals)))
+func encVals(e *wal.Enc, vals []float64) {
+	e.U32(uint32(len(vals)))
 	for _, v := range vals {
-		e.f64(v)
+		e.F64(v)
 	}
 }
 
-func decVals(d *wireDec) []float64 {
-	n := d.count(8)
+func decVals(d *wal.Dec) []float64 {
+	n := d.Count(8)
 	if n == 0 {
 		return nil
 	}
 	vals := make([]float64, n)
 	for i := range vals {
-		vals[i] = d.f64()
+		vals[i] = d.F64()
 	}
 	return vals
 }
 
-func encI32s(e *wireEnc, xs []int32) {
-	e.u32(uint32(len(xs)))
+func encI32s(e *wal.Enc, xs []int32) {
+	e.U32(uint32(len(xs)))
 	for _, x := range xs {
-		e.i32(x)
+		e.I32(x)
 	}
 }
 
-func decI32s(d *wireDec) []int32 {
-	n := d.count(4)
+func decI32s(d *wal.Dec) []int32 {
+	n := d.Count(4)
 	if n == 0 {
 		return nil
 	}
 	xs := make([]int32, n)
 	for i := range xs {
-		xs[i] = d.i32()
+		xs[i] = d.I32()
 	}
 	return xs
 }
 
-func encU32s(e *wireEnc, xs []uint32) {
-	e.u32(uint32(len(xs)))
+func encU32s(e *wal.Enc, xs []uint32) {
+	e.U32(uint32(len(xs)))
 	for _, x := range xs {
-		e.u32(x)
+		e.U32(x)
 	}
 }
 
-func decU32s(d *wireDec) []uint32 {
-	n := d.count(4)
+func decU32s(d *wal.Dec) []uint32 {
+	n := d.Count(4)
 	if n == 0 {
 		return nil
 	}
 	xs := make([]uint32, n)
 	for i := range xs {
-		xs[i] = d.u32()
+		xs[i] = d.U32()
 	}
 	return xs
 }
 
-func encEdges(e *wireEnc, edges []graph.Edge) {
-	e.u32(uint32(len(edges)))
+func encEdges(e *wal.Enc, edges []graph.Edge) {
+	e.U32(uint32(len(edges)))
 	for _, ed := range edges {
-		e.u32(ed.Src)
-		e.u32(ed.Dst)
-		e.f64(float64(ed.W))
+		e.U32(ed.Src)
+		e.U32(ed.Dst)
+		e.F64(float64(ed.W))
 	}
 }
 
-func decEdges(d *wireDec) []graph.Edge {
-	n := d.count(16)
+func decEdges(d *wal.Dec) []graph.Edge {
+	n := d.Count(16)
 	if n == 0 {
 		return nil
 	}
 	edges := make([]graph.Edge, n)
 	for i := range edges {
-		edges[i].Src = d.u32()
-		edges[i].Dst = d.u32()
-		edges[i].W = graph.Weight(d.f64())
+		edges[i].Src = d.U32()
+		edges[i].Dst = d.U32()
+		edges[i].W = graph.Weight(d.F64())
 	}
 	return edges
 }
@@ -316,52 +227,52 @@ type wireWelcome struct {
 }
 
 func encodeWelcome(w wireWelcome) []byte {
-	var e wireEnc
-	e.u8(mtWelcome)
-	e.i32(w.ID)
-	e.str(w.AlgName)
-	e.u32(w.Source)
-	e.u32(w.NumV)
-	e.u32(w.FlowCap)
-	e.u32(w.CkptEvery)
-	e.u64(w.BatchSeq)
-	e.boolByte(w.Full)
+	var e wal.Enc
+	e.U8(mtWelcome)
+	e.I32(w.ID)
+	e.Str(w.AlgName)
+	e.U32(w.Source)
+	e.U32(w.NumV)
+	e.U32(w.FlowCap)
+	e.U32(w.CkptEvery)
+	e.U64(w.BatchSeq)
+	e.Bool(w.Full)
 	if w.Full {
 		encEdges(&e, w.Edges)
 	} else {
-		e.u32(uint32(len(w.Catchup)))
+		e.U32(uint32(len(w.Catchup)))
 		for _, b := range w.Catchup {
 			encBatch(&e, b)
 		}
 	}
 	encVals(&e, w.Vals)
 	encI32s(&e, w.Parent)
-	return e.b
+	return e.B
 }
 
 func decodeWelcome(p []byte) (wireWelcome, error) {
-	d := wireDec{b: p}
+	d := wal.Dec{B: p}
 	var w wireWelcome
-	w.ID = d.i32()
-	w.AlgName = d.str()
-	w.Source = d.u32()
-	w.NumV = d.u32()
-	w.FlowCap = d.u32()
-	w.CkptEvery = d.u32()
-	w.BatchSeq = d.u64()
-	w.Full = d.u8() != 0
+	w.ID = d.I32()
+	w.AlgName = d.Str()
+	w.Source = d.U32()
+	w.NumV = d.U32()
+	w.FlowCap = d.U32()
+	w.CkptEvery = d.U32()
+	w.BatchSeq = d.U64()
+	w.Full = d.U8() != 0
 	if w.Full {
 		w.Edges = decEdges(&d)
 	} else {
-		n := d.count(4) // each batch is at least a 4-byte count
+		n := d.Count(4) // each batch is at least a 4-byte count
 		w.Catchup = make([]graph.Batch, 0, n)
-		for i := 0; i < n && !d.bad; i++ {
+		for i := 0; i < n && !d.Bad(); i++ {
 			w.Catchup = append(w.Catchup, decBatch(&d))
 		}
 	}
 	w.Vals = decVals(&d)
 	w.Parent = decI32s(&d)
-	return w, d.err("welcome")
+	return w, d.Err("welcome")
 }
 
 // wireBatchStart launches (or after a recovery, relaunches) one batch: the
@@ -377,27 +288,27 @@ type wireBatchStart struct {
 }
 
 func encodeBatchStart(m wireBatchStart) []byte {
-	var e wireEnc
-	e.u8(mtBatchStart)
-	e.u64(m.Seq)
-	e.u64(m.Epoch)
-	e.boolByte(m.ReRun)
+	var e wal.Enc
+	e.U8(mtBatchStart)
+	e.U64(m.Seq)
+	e.U64(m.Epoch)
+	e.Bool(m.ReRun)
 	encBatch(&e, m.Applied)
 	encU32s(&e, m.Trimmed)
 	encI32s(&e, m.Assign)
-	return e.b
+	return e.B
 }
 
 func decodeBatchStart(p []byte) (wireBatchStart, error) {
-	d := wireDec{b: p}
+	d := wal.Dec{B: p}
 	var m wireBatchStart
-	m.Seq = d.u64()
-	m.Epoch = d.u64()
-	m.ReRun = d.u8() != 0
+	m.Seq = d.U64()
+	m.Epoch = d.U64()
+	m.ReRun = d.U8() != 0
 	m.Applied = decBatch(&d)
 	m.Trimmed = decU32s(&d)
 	m.Assign = decI32s(&d)
-	return m, d.err("batch-start")
+	return m, d.Err("batch-start")
 }
 
 // wireData is a bundle of routed records tagged with the attempt epoch so
@@ -408,32 +319,32 @@ type wireData struct {
 }
 
 func encodeData(m wireData) []byte {
-	var e wireEnc
-	e.u8(mtData)
-	e.u64(m.Epoch)
-	e.u32(uint32(len(m.Recs)))
+	var e wal.Enc
+	e.U8(mtData)
+	e.U64(m.Epoch)
+	e.U32(uint32(len(m.Recs)))
 	for _, r := range m.Recs {
-		e.u32(r.V)
-		e.i32(r.Parent)
-		e.f64(r.Val)
-		e.boolByte(r.Shadow)
+		e.U32(r.V)
+		e.I32(r.Parent)
+		e.F64(r.Val)
+		e.Bool(r.Shadow)
 	}
-	return e.b
+	return e.B
 }
 
 func decodeData(p []byte) (wireData, error) {
-	d := wireDec{b: p}
+	d := wal.Dec{B: p}
 	var m wireData
-	m.Epoch = d.u64()
-	n := d.count(dataRecLen)
+	m.Epoch = d.U64()
+	n := d.Count(dataRecLen)
 	m.Recs = make([]dataRec, n)
 	for i := range m.Recs {
-		m.Recs[i].V = d.u32()
-		m.Recs[i].Parent = d.i32()
-		m.Recs[i].Val = d.f64()
-		m.Recs[i].Shadow = d.u8() != 0
+		m.Recs[i].V = d.U32()
+		m.Recs[i].Parent = d.I32()
+		m.Recs[i].Val = d.F64()
+		m.Recs[i].Shadow = d.U8() != 0
 	}
-	return m, d.err("data")
+	return m, d.Err("data")
 }
 
 // wireIdle is a worker's quiescence report: it has drained its inbox and
@@ -446,19 +357,19 @@ type wireIdle struct {
 }
 
 func encodeIdle(m wireIdle) []byte {
-	var e wireEnc
-	e.u8(mtIdle)
-	e.u64(m.Epoch)
-	e.u64(m.Seq)
-	e.u64(m.Processed)
-	e.u64(m.Uploaded)
-	return e.b
+	var e wal.Enc
+	e.U8(mtIdle)
+	e.U64(m.Epoch)
+	e.U64(m.Seq)
+	e.U64(m.Processed)
+	e.U64(m.Uploaded)
+	return e.B
 }
 
 func decodeIdle(p []byte) (wireIdle, error) {
-	d := wireDec{b: p}
-	m := wireIdle{Epoch: d.u64(), Seq: d.u64(), Processed: d.u64(), Uploaded: d.u64()}
-	return m, d.err("idle")
+	d := wal.Dec{B: p}
+	m := wireIdle{Epoch: d.U64(), Seq: d.U64(), Processed: d.U64(), Uploaded: d.U64()}
+	return m, d.Err("idle")
 }
 
 // wireCollect asks a worker for its owned slice of the boundary state.
@@ -468,17 +379,17 @@ type wireCollect struct {
 }
 
 func encodeCollect(m wireCollect) []byte {
-	var e wireEnc
-	e.u8(mtCollect)
-	e.u64(m.Epoch)
-	e.u64(m.Seq)
-	return e.b
+	var e wal.Enc
+	e.U8(mtCollect)
+	e.U64(m.Epoch)
+	e.U64(m.Seq)
+	return e.B
 }
 
 func decodeCollect(p []byte) (wireCollect, error) {
-	d := wireDec{b: p}
-	m := wireCollect{Epoch: d.u64(), Seq: d.u64()}
-	return m, d.err("collect")
+	d := wal.Dec{B: p}
+	m := wireCollect{Epoch: d.U64(), Seq: d.U64()}
+	return m, d.Err("collect")
 }
 
 // collectRec is one owned vertex's authoritative boundary state.
@@ -497,60 +408,60 @@ type wireCollectReply struct {
 }
 
 func encodeCollectReply(m wireCollectReply) []byte {
-	var e wireEnc
-	e.u8(mtCollectReply)
-	e.u64(m.Epoch)
-	e.u64(m.Seq)
-	e.u32(uint32(len(m.Recs)))
+	var e wal.Enc
+	e.U8(mtCollectReply)
+	e.U64(m.Epoch)
+	e.U64(m.Seq)
+	e.U32(uint32(len(m.Recs)))
 	for _, r := range m.Recs {
-		e.u32(r.V)
-		e.i32(r.Parent)
-		e.f64(r.Val)
+		e.U32(r.V)
+		e.I32(r.Parent)
+		e.F64(r.Val)
 	}
-	return e.b
+	return e.B
 }
 
 func decodeCollectReply(p []byte) (wireCollectReply, error) {
-	d := wireDec{b: p}
+	d := wal.Dec{B: p}
 	var m wireCollectReply
-	m.Epoch = d.u64()
-	m.Seq = d.u64()
-	n := d.count(collectRecLen)
+	m.Epoch = d.U64()
+	m.Seq = d.U64()
+	n := d.Count(collectRecLen)
 	m.Recs = make([]collectRec, n)
 	for i := range m.Recs {
-		m.Recs[i].V = d.u32()
-		m.Recs[i].Parent = d.i32()
-		m.Recs[i].Val = d.f64()
+		m.Recs[i].V = d.U32()
+		m.Recs[i].Parent = d.I32()
+		m.Recs[i].Val = d.F64()
 	}
-	return m, d.err("collect-reply")
+	return m, d.Err("collect-reply")
 }
 
 // wireCkpt carries checkpoint commands and completions (seq only).
 type wireCkpt struct{ Seq uint64 }
 
 func encodeCkpt(mt byte, m wireCkpt) []byte {
-	var e wireEnc
-	e.u8(mt)
-	e.u64(m.Seq)
-	return e.b
+	var e wal.Enc
+	e.U8(mt)
+	e.U64(m.Seq)
+	return e.B
 }
 
 func decodeCkpt(p []byte) (wireCkpt, error) {
-	d := wireDec{b: p}
-	m := wireCkpt{Seq: d.u64()}
-	return m, d.err("checkpoint")
+	d := wal.Dec{B: p}
+	m := wireCkpt{Seq: d.U64()}
+	return m, d.Err("checkpoint")
 }
 
 // encodeBye / encodeJoinReject carry a human-readable reason.
 func encodeReason(mt byte, reason string) []byte {
-	var e wireEnc
-	e.u8(mt)
-	e.str(reason)
-	return e.b
+	var e wal.Enc
+	e.U8(mt)
+	e.Str(reason)
+	return e.B
 }
 
 func decodeReason(p []byte) (string, error) {
-	d := wireDec{b: p}
-	s := d.str()
-	return s, d.err("reason")
+	d := wal.Dec{B: p}
+	s := d.Str()
+	return s, d.Err("reason")
 }

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// StateSnapshot is an immutable point-in-time copy of a selective engine's
+// converged state, taken at a batch boundary. The serving layer publishes
+// one per applied batch through an atomic pointer, so any number of readers
+// can answer point lookups, top-k scans, and delta subscriptions without
+// locking the engine — and without ever observing a half-applied batch.
+type StateSnapshot struct {
+	Seq    uint64 // sequence of the last batch folded into this state
+	Vals   []float64
+	Parent []int32
+}
+
+// VertexValue pairs a vertex with its value in some snapshot.
+type VertexValue struct {
+	V   graph.VertexID
+	Val float64
+}
+
+// StateSnapshot captures the engine's current converged state under seq.
+// Call only at a batch boundary (the engine quiescent); the returned copy
+// is then safe to read concurrently with later batches.
+func (e *Selective) StateSnapshot(seq uint64) *StateSnapshot {
+	vals, parent := e.SnapshotState()
+	return &StateSnapshot{Seq: seq, Vals: vals, Parent: parent}
+}
+
+// NumVertices returns the vertex-space size of the snapshot.
+func (s *StateSnapshot) NumVertices() int { return len(s.Vals) }
+
+// Value returns v's value and key-edge parent, with ok=false when v is out
+// of range.
+func (s *StateSnapshot) Value(v graph.VertexID) (val float64, parent int32, ok bool) {
+	if int(v) >= len(s.Vals) {
+		return 0, -1, false
+	}
+	return s.Vals[v], s.Parent[v], true
+}
+
+// TopK returns the k vertices whose values rank best under better (the
+// algorithm's own ordering: smallest distance for SSSP, widest path for
+// SSWP), best first, ties broken by vertex id for determinism.
+func (s *StateSnapshot) TopK(k int, better func(a, b float64) bool) []VertexValue {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]VertexValue, 0, len(s.Vals))
+	for v, val := range s.Vals {
+		out = append(out, VertexValue{V: graph.VertexID(v), Val: val})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Val != out[j].Val {
+			return better(out[i].Val, out[j].Val)
+		}
+		return out[i].V < out[j].V
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Diff lists every vertex whose value differs from prev (nil prev means
+// everything), in vertex order — the delta stream a subscriber sees as
+// flows reconverge after a batch.
+func (s *StateSnapshot) Diff(prev *StateSnapshot) []VertexValue {
+	var out []VertexValue
+	for v, val := range s.Vals {
+		if prev != nil && v < len(prev.Vals) && prev.Vals[v] == val {
+			continue
+		}
+		out = append(out, VertexValue{V: graph.VertexID(v), Val: val})
+	}
+	return out
+}

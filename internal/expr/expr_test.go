@@ -153,12 +153,25 @@ func TestAblations(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"table1", "4a", "4b", "11", "12", "13", "14a", "14b", "15a", "15b", "16", "17"} {
+	for _, id := range []string{"table1", "4a", "4b", "11", "12", "13", "14a", "14b", "15a", "15b", "16", "17", "s1", "s2", "s3", "s4", "s5"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("ByID(%q) missing", id)
 		}
 	}
 	if _, ok := ByID("99"); ok {
 		t.Fatal("ByID accepted an unknown id")
+	}
+}
+
+func TestFigS5ServingSweep(t *testing.T) {
+	tab := FigS5(tiny())
+	rows := tab.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want the 1/2/4/8-client sweep", len(rows))
+	}
+	for _, r := range rows {
+		if r[1] == "n/a" {
+			t.Fatalf("sweep point %s failed: %v", r[0], r)
+		}
 	}
 }

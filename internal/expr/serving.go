@@ -1,0 +1,148 @@
+package expr
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// FigS5 is this reproduction's serving figure (no paper counterpart; the
+// paper's engine is batch-in/batch-out): ingest throughput through a real
+// graphflyd server over loopback as the concurrent session count grows, all
+// under -fsync always. The point is the group-commit layer: one client pays
+// a full fsync per batch (amplification 1.0), while concurrent clients queue
+// behind the in-flight fsync and share the next one, so amplification drops
+// below one fsync per batch — the acceptance bar is < 1 with >= 4 writers
+// (scripts/check.sh does not gate on it, timing-sensitive; EXPERIMENTS.md
+// records measured runs).
+func FigS5(sc Scale) Table {
+	t := Table{
+		ID:    "Fig S5",
+		Title: "Serving throughput vs concurrent ingest sessions (graphflyd, SSSP/LJ, fsync=always)",
+		Header: []string{"Clients", "Total ms", "Kupd/s", "Appends", "Fsyncs",
+			"Fsync/append", "Group mean", "Read-lag p95 us"},
+	}
+	// Group-commit effects are per-batch, so the quick scale's three batches
+	// cannot show a group forming: run enough batches that every session
+	// keeps the admission window busy.
+	if sc.Batches < 24 {
+		sc.Batches = 24
+	}
+	if sc.BatchSize < 800 {
+		sc.BatchSize = 800
+	}
+	// Insert-only stream: the sessions partition the batches round-robin. A
+	// deletion generated for batch j assumes batches < j already applied,
+	// which concurrent sessions cannot promise; additions carry no such
+	// ordering dependency, so every interleaving is a valid stream.
+	w := workload("LJ", sc, 0, 0x55)
+	alg := algo.SSSP{Src: 0}
+	cfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, DenseOff: sc.DenseOff}
+	updates := 0
+	for _, b := range w.Batches {
+		updates += len(b)
+	}
+
+	for _, clients := range []int{1, 2, 4, 8} {
+		elapsed, reg, ok := runServing(w, alg, cfg, clients)
+		if !ok {
+			t.AddRow(IntCell(clients), NA(), NA(), NA(), NA(), NA(), NA(), NA())
+			continue
+		}
+		appends := reg.Counter("wal.appends").Value()
+		fsyncs := reg.Counter("wal.fsyncs").Value()
+		group := reg.Histogram("serve.group_commit_size")
+		lag := reg.Histogram("serve.read_lag_ns")
+		amp := NA()
+		if appends > 0 {
+			amp = RatioF(float64(fsyncs) / float64(appends))
+		}
+		if shared := sc.registry(); shared != nil {
+			prefix := "s5.c" + strconv.Itoa(clients) + "."
+			shared.Counter(prefix + "wal.appends").Add(appends)
+			shared.Counter(prefix + "wal.fsyncs").Add(fsyncs)
+			shared.Gauge(prefix + "group_mean").Set(group.Mean())
+			shared.Gauge(prefix + "read_lag_p95_ns").Set(float64(lag.Quantile(0.95)))
+			shared.Gauge(prefix + "ingest_ns").Set(float64(elapsed.Nanoseconds()))
+		}
+		t.AddRow(IntCell(clients), Dur(elapsed),
+			Float(float64(updates)/elapsed.Seconds()/1e3, 1),
+			IntCell(int(appends)), IntCell(int(fsyncs)), amp,
+			Float(group.Mean(), 2), Float(float64(lag.Quantile(0.95))/1e3, 1))
+	}
+	return t
+}
+
+// runServing stands up one real server on loopback, drives the workload
+// through `clients` concurrent ingest sessions (batches split round-robin,
+// each session's share in order), and drains. The returned duration covers
+// ingest only — every batch durably logged and applied.
+func runServing(w gen.Workload, alg algo.Selective, cfg engine.Config, clients int) (time.Duration, *metrics.Registry, bool) {
+	dir, err := os.MkdirTemp("", "graphfly-s5-")
+	if err != nil {
+		return 0, nil, false
+	}
+	defer os.RemoveAll(dir)
+	reg := metrics.NewRegistry()
+	dc := wal.DurableConfig{Wal: wal.Options{
+		Dir: dir, Policy: wal.FsyncAlways, Metrics: reg,
+		// graphflyd's default commit window (see cmd/graphflyd -group-window):
+		// a sync leader that sees another append in flight yields 500us so
+		// the group can form — essential on few-core hosts where appenders
+		// almost never overlap an in-progress fsync by accident.
+		GroupWindow: 500 * time.Microsecond,
+	}}
+	d, err := wal.NewDurableSelective(buildGraph(w, alg.Symmetric()), alg, cfg, dc)
+	if err != nil {
+		return 0, nil, false
+	}
+	srv, err := serve.New(serve.Config{Addr: "127.0.0.1:0", Durable: d, Alg: alg, Metrics: reg})
+	if err != nil {
+		d.Close()
+		return 0, nil, false
+	}
+	addr := srv.Addr()
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := serve.Dial(addr, serve.RoleIngest, 10*time.Second)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer cl.Close()
+			for j := c; j < len(w.Batches); j += clients {
+				if _, err := cl.IngestRetry(w.Batches[j]); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	serr := srv.Shutdown(ctx)
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, false
+		}
+	}
+	return elapsed, reg, serr == nil
+}

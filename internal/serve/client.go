@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// Client is one synchronous session with a graphflyd server: every request
+// waits for its reply, so replies pair with requests unambiguously.
+// Concurrency comes from running many clients, which is exactly the serving
+// model under test. Not safe for concurrent use by multiple goroutines.
+type Client struct {
+	conn net.Conn
+	// Welcome is the server's session banner.
+	Welcome struct {
+		AlgName string
+		NumV    uint32
+		Seq     uint64
+	}
+}
+
+// Dial connects, performs the hello handshake under role, and returns a
+// ready client. A typed *RejectError means the server refused the session
+// (draining or at its session limit).
+func Dial(addr string, role byte, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	c := &Client{conn: conn}
+	if err := writeFrame(conn, skHello, []byte{role}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: hello: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	kind, payload, err := wal.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: hello reply: %w", err)
+	}
+	switch kind {
+	case skWelcome:
+		w, derr := decodeWelcome(payload)
+		if derr != nil {
+			conn.Close()
+			return nil, derr
+		}
+		c.Welcome.AlgName, c.Welcome.NumV, c.Welcome.Seq = w.AlgName, w.NumV, w.Seq
+		conn.SetReadDeadline(time.Time{})
+		return c, nil
+	case skReject:
+		re, derr := decodeReject(payload)
+		conn.Close()
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, re
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("serve: unexpected hello reply kind %#x", kind)
+	}
+}
+
+// Close ends the session gracefully.
+func (c *Client) Close() error {
+	writeFrame(c.conn, skBye, encodeReject(0, "client closing"))
+	return c.conn.Close()
+}
+
+// roundTrip sends one frame and returns the next reply frame.
+func (c *Client) roundTrip(kind byte, payload []byte) (byte, []byte, error) {
+	if err := writeFrame(c.conn, kind, payload); err != nil {
+		return 0, nil, fmt.Errorf("serve: send: %w", err)
+	}
+	rk, rp, err := wal.ReadFrame(c.conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("serve: reply: %w", err)
+	}
+	return rk, rp, nil
+}
+
+// asReject converts an skReject reply into its typed error.
+func asReject(payload []byte) error {
+	re, err := decodeReject(payload)
+	if err != nil {
+		return err
+	}
+	return re
+}
+
+// Ingest submits one batch and waits until it is durably logged, returning
+// the assigned sequence. A *RejectError with Retryable()==true is
+// backpressure: the batch was NOT accepted and may be resubmitted.
+func (c *Client) Ingest(b graph.Batch) (uint64, error) {
+	kind, payload, err := c.roundTrip(skIngest, encodeBatch(b))
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case skIngestAck:
+		d := wal.Dec{B: payload}
+		seq := d.U64()
+		return seq, d.Err("ingest-ack")
+	case skReject:
+		return 0, asReject(payload)
+	default:
+		return 0, fmt.Errorf("serve: unexpected ingest reply kind %#x", kind)
+	}
+}
+
+// IngestRetry submits b, retrying typed backpressure rejections until the
+// batch is accepted or a non-retryable error occurs.
+func (c *Client) IngestRetry(b graph.Batch) (uint64, error) {
+	for backoff := time.Millisecond; ; {
+		seq, err := c.Ingest(b)
+		if re, ok := err.(*RejectError); ok && re.Retryable() {
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		return seq, err
+	}
+}
+
+// Get reads one vertex's value and parent from the server's current
+// snapshot, returning also the snapshot's sequence.
+func (c *Client) Get(v graph.VertexID) (val float64, parent int32, seq uint64, err error) {
+	var e wal.Enc
+	e.U32(uint32(v))
+	kind, payload, err := c.roundTrip(skGet, e.B)
+	if err != nil {
+		return 0, -1, 0, err
+	}
+	switch kind {
+	case skValue:
+		r, derr := decodeValue(payload)
+		return r.Val, r.Parent, r.Seq, derr
+	case skReject:
+		return 0, -1, 0, asReject(payload)
+	default:
+		return 0, -1, 0, fmt.Errorf("serve: unexpected get reply kind %#x", kind)
+	}
+}
+
+// TopK reads the k best vertices under the server's algorithm ordering.
+func (c *Client) TopK(k int) ([]engine.VertexValue, uint64, error) {
+	var e wal.Enc
+	e.U32(uint32(k))
+	kind, payload, err := c.roundTrip(skTopK, e.B)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch kind {
+	case skTopKReply:
+		m, derr := decodeVVList(payload, "topk-reply")
+		return m.Recs, m.Seq, derr
+	case skReject:
+		return nil, 0, asReject(payload)
+	default:
+		return nil, 0, fmt.Errorf("serve: unexpected top-k reply kind %#x", kind)
+	}
+}
+
+// Stat probes the server's sequences and session count.
+func (c *Client) Stat() (Stat, error) {
+	kind, payload, err := c.roundTrip(skStat, nil)
+	if err != nil {
+		return Stat{}, err
+	}
+	switch kind {
+	case skStatReply:
+		return decodeStat(payload)
+	case skReject:
+		return Stat{}, asReject(payload)
+	default:
+		return Stat{}, fmt.Errorf("serve: unexpected stat reply kind %#x", kind)
+	}
+}
+
+// Delta is one subscription push: the vertices whose values changed when
+// batch Seq reconverged.
+type Delta struct {
+	Seq  uint64
+	Recs []engine.VertexValue
+}
+
+// Subscribe switches the session into delta streaming. After it returns,
+// call Next repeatedly; the session carries only skDelta frames from here
+// until the server's bye.
+func (c *Client) Subscribe() error {
+	return writeFrame(c.conn, skSubscribe, nil)
+}
+
+// Next blocks for the next delta (timeout <= 0 waits forever). It returns
+// ok=false on a clean end of stream (server bye or subscription dropped).
+func (c *Client) Next(timeout time.Duration) (Delta, bool, error) {
+	if timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(timeout))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	for {
+		kind, payload, err := wal.ReadFrame(c.conn)
+		if err != nil {
+			return Delta{}, false, fmt.Errorf("serve: next: %w", err)
+		}
+		switch kind {
+		case skDelta:
+			m, derr := decodeVVList(payload, "delta")
+			if derr != nil {
+				return Delta{}, false, derr
+			}
+			return Delta{Seq: m.Seq, Recs: m.Recs}, true, nil
+		case skBye:
+			return Delta{}, false, nil
+		case skReject:
+			return Delta{}, false, asReject(payload)
+		default:
+			// Ignore stragglers from requests sent before Subscribe.
+		}
+	}
+}

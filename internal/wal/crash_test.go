@@ -2,6 +2,7 @@ package wal
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -242,4 +243,129 @@ func TestCrashRecoverySmoke(t *testing.T) {
 		t.Fatal("crash did not fire")
 	}
 	verifyRecovery(t, w, alg, dc, acked, "smoke/"+plan.fired)
+}
+
+// buildMultiSegLog writes n tiny batches across several small segments and
+// closes the log cleanly, returning the per-segment paths in order.
+func buildMultiSegLog(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 256, Policy: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.Batch{{Edge: graph.Edge{Src: 1, Dst: 2, W: 3}}}
+	for seq := uint64(1); seq <= uint64(n); seq++ {
+		if err := l.Append(seq, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.SegmentCount() < 3 {
+		t.Fatalf("only %d segments; the workload no longer rotates", l.SegmentCount())
+	}
+	var paths []string
+	for _, s := range l.segs {
+		paths = append(paths, s.path)
+	}
+	l.Close()
+	return paths
+}
+
+// TestReplayStrictMidLogCorruption is the satellite-2 regression: Replay
+// must not pass mid-log corruption off as a short log. Damage in a non-tail
+// segment — behind which later segments still hold valid acknowledged
+// frames — is an ErrCorrupt error; the same damage in the tail is the
+// expected crash shape and stops cleanly. The corruption lands AFTER Open
+// (whose repair would otherwise truncate it): bit rot between the scan and
+// the replay is exactly the window the strict check exists for.
+func TestReplayStrictMidLogCorruption(t *testing.T) {
+	const n = 30
+	flip := func(t *testing.T, path string, off int64) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[off] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("non-tail damage is an error", func(t *testing.T) {
+		dir := t.TempDir()
+		segs := buildMultiSegLog(t, dir, n)
+		l, err := Open(Options{Dir: dir, SegmentBytes: 256, Policy: FsyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		flip(t, segs[0], 10) // payload of the first segment's first frame
+		err = l.Replay(0, func(uint64, graph.Batch) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("mid-log corruption replayed as %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("tail damage stops cleanly", func(t *testing.T) {
+		dir := t.TempDir()
+		segs := buildMultiSegLog(t, dir, n)
+		l, err := Open(Options{Dir: dir, SegmentBytes: 256, Policy: FsyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		flip(t, segs[len(segs)-1], 10)
+		var got int
+		if err := l.Replay(0, func(uint64, graph.Batch) error { got++; return nil }); err != nil {
+			t.Fatalf("damaged tail must stop cleanly, got %v", err)
+		}
+		if got == 0 || got >= n {
+			t.Fatalf("replayed %d of %d frames; want the pre-tail prefix only", got, n)
+		}
+	})
+
+	t.Run("torn tail stops cleanly", func(t *testing.T) {
+		dir := t.TempDir()
+		segs := buildMultiSegLog(t, dir, n)
+		l, err := Open(Options{Dir: dir, SegmentBytes: 256, Policy: FsyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		st, err := os.Stat(segs[len(segs)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(segs[len(segs)-1], st.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		if err := l.Replay(0, func(uint64, graph.Batch) error { got++; return nil }); err != nil {
+			t.Fatalf("torn tail must stop cleanly, got %v", err)
+		}
+		if got != n-1 {
+			t.Fatalf("replayed %d frames, want %d (all but the torn final frame)", got, n-1)
+		}
+	})
+
+	t.Run("torn non-tail is an error", func(t *testing.T) {
+		dir := t.TempDir()
+		segs := buildMultiSegLog(t, dir, n)
+		l, err := Open(Options{Dir: dir, SegmentBytes: 256, Policy: FsyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		st, err := os.Stat(segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(segs[0], st.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		err = l.Replay(0, func(uint64, graph.Batch) error { return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("torn non-tail segment replayed as %v, want ErrCorrupt", err)
+		}
+	})
 }

@@ -1,0 +1,139 @@
+package wal
+
+// Enc/Dec are the little-endian payload cursors shared by every WAL-framed
+// wire and disk format in the repository. internal/dist's socket protocol
+// and internal/serve's session protocol both compose messages from these
+// primitives inside frames written by AppendFrame/WriteFrame, so a payload
+// decodes with the same discipline everywhere: every length and range is
+// validated before allocation, and a malformed payload yields an error,
+// never a panic or garbage.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Enc is an append-only encoder; read the accumulated payload from B.
+type Enc struct{ B []byte }
+
+// U8 appends one byte.
+func (e *Enc) U8(v byte) { e.B = append(e.B, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.B = binary.LittleEndian.AppendUint32(e.B, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.B = binary.LittleEndian.AppendUint64(e.B, v) }
+
+// I32 appends an int32 in uint32 clothing.
+func (e *Enc) I32(v int32) { e.U32(uint32(v)) }
+
+// F64 appends a float64 as its IEEE-754 bits.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.B = append(e.B, s...)
+}
+
+// Bool appends a bool as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Dec is a sticky-error cursor: after the first violation every read
+// returns zero values and Err reports the failure.
+type Dec struct {
+	B   []byte
+	bad bool
+}
+
+// Bad reports whether the cursor has tripped a violation.
+func (d *Dec) Bad() bool { return d.bad }
+
+func (d *Dec) fail() { d.bad = true }
+
+// Take consumes n bytes, or trips the cursor when fewer remain.
+func (d *Dec) Take(n int) []byte {
+	if d.bad || len(d.B) < n {
+		d.fail()
+		return nil
+	}
+	p := d.B[:n]
+	d.B = d.B[n:]
+	return p
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() byte {
+	p := d.Take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	p := d.Take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	p := d.Take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// I32 reads an int32.
+func (d *Dec) I32() int32 { return int32(d.U32()) }
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := int(d.U32())
+	if n < 0 || n > len(d.B) {
+		d.fail()
+		return ""
+	}
+	return string(d.Take(n))
+}
+
+// Count reads a length prefix and validates it against the remaining bytes
+// at elemLen bytes per element, so a hostile count can never drive an
+// allocation past the payload it arrived in.
+func (d *Dec) Count(elemLen int) int {
+	n := int(d.U32())
+	if d.bad || n < 0 || n*elemLen > len(d.B) {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+// Err finalizes the decode: it reports a tripped cursor or trailing bytes
+// as an ErrCorrupt-wrapped error, and nil on a clean, fully consumed
+// payload. what names the message for the error text.
+func (d *Dec) Err(what string) error {
+	if d.bad {
+		return fmt.Errorf("%w: malformed %s message", ErrCorrupt, what)
+	}
+	if len(d.B) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after %s message", ErrCorrupt, len(d.B), what)
+	}
+	return nil
+}

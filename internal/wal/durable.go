@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/algo"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 // snapRetain is how many snapshots survive retention. Two, not one: the WAL
@@ -20,6 +22,13 @@ const snapRetain = 2
 
 // ErrNoSnapshot means the directory has no snapshot to recover from.
 var ErrNoSnapshot = errors.New("wal: no snapshot found")
+
+// ErrEngineDirty refuses a snapshot of an engine whose last batch did not
+// finish applying (canceled or failed mid-flight): the in-memory state is
+// between batch boundaries, so a snapshot of it — though it would pass CRC
+// validation — would silently become a corrupt recovery base. The WAL tail
+// already holds the batch; recovery replays it onto the last good snapshot.
+var ErrEngineDirty = errors.New("wal: engine dirty mid-batch; snapshot refused")
 
 // HasSnapshot reports whether dir holds at least one snapshot file — the
 // CLI's cue to recover instead of starting fresh.
@@ -45,10 +54,13 @@ type DurableConfig struct {
 type DurableSelective struct {
 	Eng *engine.Selective
 
+	mu        sync.Mutex // serializes batch apply, snapshot, and seq/dirty
 	log       *Log
 	cfg       DurableConfig
 	seq       uint64 // sequence of the last acknowledged batch
 	sinceSnap int
+	dirty     bool         // a batch is mid-apply (or died mid-apply)
+	gc        *GroupCommit // non-nil once Group() put the log in serving mode
 }
 
 // NewDurableSelective builds a fresh engine over g (running the static
@@ -86,6 +98,11 @@ func NewDurableSelective(g *graph.Streaming, alg algo.Selective, ecfg engine.Con
 // (a malformed batch mutated nothing; any other error leaves the wrapper
 // unusable — recover from the directory).
 func (d *DurableSelective) ProcessBatch(ctx context.Context, batch graph.Batch) (engine.BatchStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gc != nil {
+		return engine.BatchStats{}, fmt.Errorf("wal: log is in serving mode; append through the group and apply with ApplyLogged")
+	}
 	if err := d.Eng.G.CheckBatch(batch); err != nil {
 		return engine.BatchStats{}, err // reject before logging garbage
 	}
@@ -93,33 +110,104 @@ func (d *DurableSelective) ProcessBatch(ctx context.Context, batch graph.Batch) 
 	if err := d.log.Append(seq, batch); err != nil {
 		return engine.BatchStats{}, err
 	}
+	return d.applyLocked(ctx, seq, batch)
+}
+
+// applyLocked runs the engine over an already-logged batch and, on success,
+// advances the acknowledged sequence and the snapshot cadence. The dirty
+// flag brackets the apply: if the engine is canceled or fails mid-batch the
+// flag stays set and Snapshot refuses to persist the half-applied state.
+func (d *DurableSelective) applyLocked(ctx context.Context, seq uint64, batch graph.Batch) (engine.BatchStats, error) {
+	d.dirty = true
 	st, err := d.Eng.ProcessBatchCtx(ctx, batch)
 	if err != nil {
 		return st, err
 	}
+	d.dirty = false
 	d.seq = seq
 	d.sinceSnap++
 	if d.cfg.SnapshotEvery > 0 && d.sinceSnap >= d.cfg.SnapshotEvery {
-		if err := d.Snapshot(); err != nil {
+		if err := d.snapshotLocked(); err != nil {
 			return st, err
 		}
 	}
 	return st, nil
 }
 
-// Seq returns the sequence of the last acknowledged batch.
-func (d *DurableSelective) Seq() uint64 { return d.seq }
+// ApplyLogged applies one batch that is already in the log under seq (the
+// serving mode's apply half: sessions append through the GroupCommit, a
+// single applier feeds the engine in logged order). seq must be exactly
+// Seq()+1 — the logged order is the only apply order recovery can
+// reproduce.
+func (d *DurableSelective) ApplyLogged(ctx context.Context, seq uint64, batch graph.Batch) (engine.BatchStats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if seq != d.seq+1 {
+		return engine.BatchStats{}, fmt.Errorf("wal: apply seq %d, want %d (out of logged order)", seq, d.seq+1)
+	}
+	return d.applyLocked(ctx, seq, batch)
+}
+
+// Group puts the log in serving mode: concurrent appenders go through the
+// returned GroupCommit (sharing fsyncs under FsyncAlways), onAppend observes
+// every append in logged order, and ProcessBatch is disabled in favor of
+// ApplyLogged. groupSize, when non-nil, records appends-per-fsync.
+func (d *DurableSelective) Group(onAppend func(seq uint64, b graph.Batch), groupSize *metrics.Histogram) *GroupCommit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.gc == nil {
+		d.gc = newGroupCommit(d.log, d.seq, onAppend, groupSize)
+	}
+	return d.gc
+}
+
+// Dirty reports whether the engine died mid-batch (canceled apply), in
+// which case the in-memory state is between batch boundaries and must not
+// be snapshotted; recovery from the directory is the only safe exit.
+func (d *DurableSelective) Dirty() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dirty
+}
+
+// Seq returns the sequence of the last acknowledged (applied) batch.
+func (d *DurableSelective) Seq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
 
 // Log exposes the underlying log (read-only use).
 func (d *DurableSelective) Log() *Log { return d.log }
 
 // Snapshot checkpoints the current state at the current sequence, applies
 // retention (keep snapRetain newest), and truncates the log through the
-// older retained snapshot.
+// older retained snapshot. It refuses (ErrEngineDirty) when the last batch
+// died mid-apply — persisting that state would fabricate a corrupt-but-
+// CRC-valid recovery base.
 func (d *DurableSelective) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotLocked()
+}
+
+// withLog runs f on the log, under the group's append mutex when the log is
+// in serving mode so snapshot-driven syncs and truncations never interleave
+// with a concurrent append's write or rotation.
+func (d *DurableSelective) withLog(f func(l *Log) error) error {
+	if d.gc != nil {
+		return d.gc.withLog(f)
+	}
+	return f(d.log)
+}
+
+func (d *DurableSelective) snapshotLocked() error {
+	if d.dirty {
+		return ErrEngineDirty
+	}
 	// Frames <= seq must be durable before a snapshot claims to cover them.
 	if d.cfg.Wal.Policy != FsyncOff {
-		if err := d.log.Sync(); err != nil {
+		if err := d.withLog((*Log).Sync); err != nil {
 			return err
 		}
 	}
@@ -142,14 +230,20 @@ func (d *DurableSelective) Snapshot() error {
 		seqs = seqs[1:]
 	}
 	if len(seqs) == snapRetain {
-		return d.log.TruncateThrough(seqs[0])
+		trim := seqs[0]
+		return d.withLog(func(l *Log) error { return l.TruncateThrough(trim) })
 	}
 	return nil
 }
 
 // Close syncs (per policy) and closes the log. The engine stays usable but
-// further batches are no longer durable.
-func (d *DurableSelective) Close() error { return d.log.Close() }
+// further batches are no longer durable. In serving mode the caller must
+// have stopped every appender first.
+func (d *DurableSelective) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.withLog((*Log).Close)
+}
 
 // abandon drops the log handle without any cleanup — the crash fuzzer's
 // process-death stand-in.

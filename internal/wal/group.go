@@ -1,0 +1,181 @@
+package wal
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// GroupCommit adapts the single-writer Log to concurrent appenders. Frame
+// writes are serialized under one mutex — appends stay strictly ordered, so
+// the on-disk sequence chain is also the authoritative apply order — and,
+// under FsyncAlways, appenders share fsyncs leader/follower style: while one
+// append's fsync is in flight, later appenders queue, write their frames the
+// moment it completes, and the next leader's single fsync makes the whole
+// group durable. With W concurrent writers each fsync covers up to W
+// appends, so fsync amplification drops below one per batch (Fig S5).
+// Options.GroupWindow widens the net: a leader that sees another Append in
+// flight yields briefly before syncing, which matters on few-core hosts
+// where appenders rarely overlap an in-progress fsync on their own.
+//
+// The zero value is not usable; build one with DurableSelective.Group.
+type GroupCommit struct {
+	mu       sync.Mutex // serializes l.append, onAppend, rotation, truncation
+	l        *Log
+	onAppend func(seq uint64, b graph.Batch)
+
+	next uint64 // last assigned sequence (under mu)
+
+	inflight atomic.Int32 // Append calls between entry and return
+	writers  atomic.Int32 // advertised concurrent writers (AddWriter)
+
+	sm      sync.Mutex
+	syncing bool          // a leader's fsync is in flight
+	synced  uint64        // highest sequence known durable
+	syncErr error         // sticky: a failed fsync fails every later waiter
+	wake    chan struct{} // closed and replaced when a sync round ends
+
+	groupSize *metrics.Histogram
+}
+
+func newGroupCommit(l *Log, start uint64, onAppend func(seq uint64, b graph.Batch), groupSize *metrics.Histogram) *GroupCommit {
+	return &GroupCommit{
+		l:         l,
+		onAppend:  onAppend,
+		next:      start,
+		synced:    start, // everything <= start is snapshot-covered or replayed
+		wake:      make(chan struct{}),
+		groupSize: groupSize,
+	}
+}
+
+// Append logs b under the next sequence and returns that sequence once the
+// batch is as durable as the log's fsync policy promises. onAppend runs
+// under the append mutex — immediately after the frame is written and
+// before any later append — so it observes batches in exactly the logged
+// order; it must not block.
+func (gc *GroupCommit) Append(b graph.Batch) (uint64, error) {
+	gc.inflight.Add(1)
+	defer gc.inflight.Add(-1)
+	gc.mu.Lock()
+	seq := gc.next + 1
+	if err := gc.l.append(seq, b); err != nil {
+		gc.mu.Unlock()
+		return 0, err
+	}
+	gc.next = seq
+	if gc.onAppend != nil {
+		gc.onAppend(seq, b)
+	}
+	if gc.l.opts.Policy != FsyncAlways {
+		// interval/off: acknowledge before sync, as the policy promises. The
+		// interval sync runs inline; it is amortized and rarely fires.
+		err := gc.l.syncPolicy()
+		gc.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return seq, nil
+	}
+	gc.mu.Unlock()
+	// always: wait (outside the append mutex, so the next group can form)
+	// until a leader's fsync covers this sequence.
+	if err := gc.waitDurable(seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// waitDurable blocks until synced >= seq. The first waiter of a round
+// becomes leader: it takes the append mutex (freezing LastSeq), issues one
+// fsync, and publishes the new watermark; every waiter at or below the
+// watermark returns. Waiters that appended while the fsync was in flight
+// form the next round.
+func (gc *GroupCommit) waitDurable(seq uint64) error {
+	gc.sm.Lock()
+	for {
+		if gc.syncErr != nil {
+			err := gc.syncErr
+			gc.sm.Unlock()
+			return err
+		}
+		if gc.synced >= seq {
+			gc.sm.Unlock()
+			return nil
+		}
+		if !gc.syncing {
+			gc.syncing = true
+			prev := gc.synced
+			gc.sm.Unlock()
+
+			// Commit window: when other writers exist — another Append is
+			// mid-flight, or the owner advertised concurrent sessions via
+			// AddWriter — yield briefly so their frames land and ride this
+			// fsync. A lone writer skips the wait entirely, so the window
+			// only trades latency for shared fsyncs when there is actually
+			// a group to form.
+			if w := gc.l.opts.GroupWindow; w > 0 &&
+				(gc.writers.Load() > 1 || gc.inflight.Load() > 1) {
+				time.Sleep(w)
+			}
+
+			gc.mu.Lock()
+			high := gc.l.LastSeq()
+			err := gc.l.Sync()
+			gc.mu.Unlock()
+
+			gc.sm.Lock()
+			gc.syncing = false
+			if err != nil {
+				gc.syncErr = err
+			} else {
+				if gc.groupSize != nil && high > prev {
+					gc.groupSize.Observe(int64(high - prev))
+				}
+				if high > gc.synced {
+					gc.synced = high
+				}
+			}
+			close(gc.wake)
+			gc.wake = make(chan struct{})
+			continue
+		}
+		ch := gc.wake
+		gc.sm.Unlock()
+		<-ch
+		gc.sm.Lock()
+	}
+}
+
+// AddWriter adjusts the advertised concurrent-writer count (delta may be
+// negative). The serving layer calls it as ingest sessions come and go;
+// with more than one writer advertised, sync leaders hold the GroupWindow
+// open even when the peers are momentarily outside Append (typical on
+// few-core hosts, where staggered request cycles rarely overlap).
+func (gc *GroupCommit) AddWriter(delta int) { gc.writers.Add(int32(delta)) }
+
+// Sync forces everything appended so far durable (drain/shutdown path).
+func (gc *GroupCommit) Sync() error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.l.Sync()
+}
+
+// LastSeq returns the highest appended sequence.
+func (gc *GroupCommit) LastSeq() uint64 {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.l.LastSeq()
+}
+
+// withLog runs f with the append mutex held — the seam the snapshot path
+// uses so retention-driven syncs and truncations cannot interleave with a
+// concurrent append's rotation.
+func (gc *GroupCommit) withLog(f func(l *Log) error) error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return f(gc.l)
+}

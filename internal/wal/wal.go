@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -13,6 +14,14 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 )
+
+// ErrPoisoned marks a log whose on-disk state diverged from its in-memory
+// bookkeeping: a write or fsync failed partway, so the file offset no longer
+// matches l.size and a further append would interleave a frame mid-segment.
+// Every later Append/Sync returns an error wrapping this sentinel; the only
+// way forward is to close the handle and re-Open, whose repair truncates the
+// damage.
+var ErrPoisoned = errors.New("wal: log poisoned by earlier write failure")
 
 // FsyncPolicy says when the log forces appended frames to stable storage.
 type FsyncPolicy int
@@ -69,6 +78,14 @@ type Options struct {
 	// Metrics, when non-nil, receives wal.append_ns / wal.fsync_ns
 	// histograms and wal.appends / wal.fsyncs / wal.rotations counters.
 	Metrics *metrics.Registry
+	// GroupWindow, under FsyncAlways in serving (GroupCommit) mode, is how
+	// long a sync leader yields before issuing its fsync so concurrent
+	// appenders can write their frames and share it. The wait is adaptive:
+	// it is skipped whenever no other Append is in flight, so a lone writer
+	// pays nothing. Zero disables the window (every leader syncs
+	// immediately; groups only form from appends that landed during a
+	// previous fsync).
+	GroupWindow time.Duration
 
 	// hook is the crash-point injection seam: when non-nil it runs before
 	// every durability-critical operation, and a non-nil return aborts the
@@ -161,6 +178,7 @@ type Log struct {
 	lastSeq   uint64 // highest appended/recovered seq (0 = none known)
 	sinceSync int
 	buf       []byte
+	err       error // sticky ErrPoisoned wrapper once disk state is suspect
 
 	appendNs  *metrics.Histogram
 	fsyncNs   *metrics.Histogram
@@ -294,10 +312,35 @@ func (l *Log) LastSeq() uint64 { return l.lastSeq }
 // SegmentCount returns the number of live segment files.
 func (l *Log) SegmentCount() int { return len(l.segs) }
 
+// poison records the first disk-state failure and returns it unwrapped, so
+// the caller sees the original cause; every later Append/Sync gets the
+// sticky ErrPoisoned wrapper instead of a chance to interleave frames after
+// a partial write.
+func (l *Log) poison(err error) error {
+	if l.err == nil {
+		l.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
+	}
+	return err
+}
+
 // Append logs one batch under seq, which must be exactly lastSeq+1 (any
 // positive seq when the log is empty and has no recovered history). The
 // batch is durable per the fsync policy once Append returns nil.
 func (l *Log) Append(seq uint64, b graph.Batch) error {
+	if err := l.append(seq, b); err != nil {
+		return err
+	}
+	return l.syncPolicy()
+}
+
+// append writes the frame without running the fsync policy — the seam the
+// group-commit layer uses to batch many appends under one sync. Failures
+// that may have left bytes on disk (torn write, short write, rotate) poison
+// the log; sequence-validation errors change nothing and do not.
+func (l *Log) append(seq uint64, b graph.Batch) error {
+	if l.err != nil {
+		return l.err
+	}
 	if seq == 0 {
 		return fmt.Errorf("wal: sequence numbers start at 1")
 	}
@@ -307,7 +350,7 @@ func (l *Log) Append(seq uint64, b graph.Batch) error {
 	t0 := time.Now()
 	if l.f == nil || l.size >= l.opts.segmentBytes() {
 		if err := l.rotate(seq); err != nil {
-			return err
+			return l.poison(err)
 		}
 	}
 	l.buf = AppendFrame(l.buf[:0], KindBatch, EncodeBatch(nil, seq, b))
@@ -315,10 +358,12 @@ func (l *Log) Append(seq uint64, b graph.Batch) error {
 		if tear >= 0 && tear < len(l.buf) {
 			l.f.Write(l.buf[:tear])
 		}
-		return err
+		return l.poison(err)
 	}
 	if _, err := l.f.Write(l.buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		// Part of the frame may be on disk; l.size no longer matches the
+		// file offset, so no further frame may be appended to this handle.
+		return l.poison(fmt.Errorf("wal: append: %w", err))
 	}
 	l.size += int64(len(l.buf))
 	l.lastSeq = seq
@@ -326,20 +371,21 @@ func (l *Log) Append(seq uint64, b graph.Batch) error {
 	if l.appends != nil {
 		l.appends.Inc()
 	}
-	switch l.opts.Policy {
-	case FsyncAlways:
-		if err := l.Sync(); err != nil {
-			return err
-		}
-	case FsyncInterval:
-		if l.sinceSync >= l.opts.fsyncEvery() {
-			if err := l.Sync(); err != nil {
-				return err
-			}
-		}
-	}
 	if l.appendNs != nil {
 		l.appendNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	return nil
+}
+
+// syncPolicy applies the configured fsync policy after an append.
+func (l *Log) syncPolicy() error {
+	switch l.opts.Policy {
+	case FsyncAlways:
+		return l.Sync()
+	case FsyncInterval:
+		if l.sinceSync >= l.opts.fsyncEvery() {
+			return l.Sync()
+		}
 	}
 	return nil
 }
@@ -374,17 +420,22 @@ func (l *Log) rotate(firstSeq uint64) error {
 	return nil
 }
 
-// Sync forces the active segment to stable storage.
+// Sync forces the active segment to stable storage. A failed fsync poisons
+// the log: the kernel may have dropped the dirty pages, so retrying the
+// sync cannot make the acknowledged frames durable.
 func (l *Log) Sync() error {
+	if l.err != nil {
+		return l.err
+	}
 	if l.f == nil || l.sinceSync == 0 {
 		return nil
 	}
 	if _, err := l.opts.fire("append.sync"); err != nil {
-		return err
+		return l.poison(err)
 	}
 	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+		return l.poison(fmt.Errorf("wal: sync: %w", err))
 	}
 	l.sinceSync = 0
 	if l.fsyncs != nil {
@@ -397,12 +448,22 @@ func (l *Log) Sync() error {
 }
 
 // Replay streams every valid frame with sequence in (fromSeq, lastSeq] to
-// fn, in order. It stops cleanly (nil error) at the first torn or corrupt
-// frame or sequence gap — Open's repair makes that the end of the log — and
-// propagates fn's first error.
+// fn, in order, and propagates fn's first error. Damage in the *tail*
+// segment — a torn or corrupt final frame, or a sequence chain that simply
+// ends — is the expected shape of a crash, so replay stops cleanly there
+// with a nil error (Open's repair makes that point the end of the log).
+// Damage in any earlier segment is different: every later segment still
+// holds valid acknowledged frames that a silent stop would drop, so
+// mid-log corruption is reported as an ErrCorrupt-wrapped error instead of
+// being passed off as a short log.
 func (l *Log) Replay(fromSeq uint64, fn func(seq uint64, b graph.Batch) error) error {
 	prev := fromSeq
-	for _, s := range l.segs {
+	for i, s := range l.segs {
+		tail := i == len(l.segs)-1
+		midLog := func(what string) error {
+			return fmt.Errorf("wal: replay: %w: %s in non-tail segment %s (later segments hold valid frames)",
+				ErrCorrupt, what, filepath.Base(s.path))
+		}
 		f, err := os.Open(s.path)
 		if err != nil {
 			return fmt.Errorf("wal: replay: %w", err)
@@ -414,19 +475,28 @@ func (l *Log) Replay(fromSeq uint64, fn func(seq uint64, b graph.Batch) error) e
 			}
 			if rerr != nil || kind != KindBatch {
 				f.Close()
-				return nil // damaged tail: recovery keeps the prefix
+				if tail {
+					return nil // damaged tail: recovery keeps the prefix
+				}
+				return midLog("damaged frame")
 			}
 			seq, b, derr := DecodeBatch(payload)
 			if derr != nil {
 				f.Close()
-				return nil
+				if tail {
+					return nil
+				}
+				return midLog("undecodable batch")
 			}
 			if seq <= fromSeq {
 				continue
 			}
 			if seq != prev+1 {
 				f.Close()
-				return nil // gap: later frames are unreachable
+				if tail {
+					return nil // gap at the tail: later frames are unreachable
+				}
+				return midLog(fmt.Sprintf("sequence gap (%d after %d)", seq, prev))
 			}
 			if err := fn(seq, b); err != nil {
 				f.Close()

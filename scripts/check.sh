@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repo verification: formatting, build, vet, race-enabled tests, a seeded
 # WAL crash-recovery smoke, a durable-CLI recovery smoke, a seeded chaos
-# smoke run of the fault-tolerant distributed runtime, and a bench smoke
-# that emits and schema-validates the machine-readable report. Run from
-# anywhere.
+# smoke run of the fault-tolerant distributed runtime, a graphflyd serving
+# smoke (concurrent ingest+query, SIGTERM, restart, dump vs single-shot
+# oracle), and a bench smoke that emits and schema-validates the
+# machine-readable report. Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +43,55 @@ timeout 300 go test -count=1 -run 'TestProcCrashRestartSmoke' ./internal/dist
 echo "== chaos smoke (seeded fault injection, distributed SSSP) =="
 go run ./cmd/graphfly -algo SSSP -dataset TT -nEdges 2000 -numberOfUpdateBatches 3 \
     -nodes 4 -faults seed=7,drop=0.1,dup=0.05,delay=0.2,reorder=0.1,crash=0.01,maxcrashes=2,crashat=1:5:2
+
+echo "== graphflyd serving smoke (concurrent ingest+query, SIGTERM, restart, oracle) =="
+servetmp=$(mktemp -d)
+dpid=""
+cleanup_serve() { [ -n "$dpid" ] && kill "$dpid" 2>/dev/null || true; rm -rf "$servetmp"; }
+trap cleanup_serve EXIT
+go build -o "$servetmp/graphflyd" ./cmd/graphflyd
+go build -o "$servetmp/graphfly" ./cmd/graphfly
+common=(-algo SSSP -dataset LJ -nEdges 400 -deletions 0.1 -seed 42)
+wait_listening() { # $1 = server.out; sets $addr
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^graphflyd listening on \([0-9.:]*\) .*/\1/p' "$1")
+        [ -n "$addr" ] && return 0
+        sleep 0.1
+    done
+    echo "graphflyd never came up:" >&2; cat "$1" >&2; return 1
+}
+"$servetmp/graphflyd" "${common[@]}" -waldir "$servetmp/wal" -addr 127.0.0.1:0 \
+    -fsync always -snapshot-every 4 > "$servetmp/server1.out" 2>&1 &
+dpid=$!
+wait_listening "$servetmp/server1.out"
+"$servetmp/graphflyd" "${common[@]}" -client ingest -addr "$addr" \
+    -numberOfUpdateBatches 6 > "$servetmp/ingest.out" 2>&1 &
+ipid=$!
+# a second, concurrent session queries while the ingest session runs
+"$servetmp/graphflyd" -client stat -addr "$addr" > /dev/null
+"$servetmp/graphflyd" -client topk -addr "$addr" -k 5 > /dev/null
+wait "$ipid"
+[ "$(grep -c '^ingested batch' "$servetmp/ingest.out")" = 6 ]
+kill -TERM "$dpid"
+wait "$dpid"
+grep -q 'drained: durable through seq 6' "$servetmp/server1.out"
+# restart over the same WAL: recovery must cover every acknowledged batch,
+# and the served state must byte-match a single-shot oracle run
+"$servetmp/graphflyd" "${common[@]}" -waldir "$servetmp/wal" -addr 127.0.0.1:0 \
+    -fsync always -snapshot-every 4 > "$servetmp/server2.out" 2>&1 &
+dpid=$!
+wait_listening "$servetmp/server2.out"
+grep -q 'replayed [0-9]* batches to seq 6' "$servetmp/server2.out"
+"$servetmp/graphflyd" -client dump -addr "$addr" -o "$servetmp/served.txt"
+kill -TERM "$dpid"
+wait "$dpid"
+dpid=""
+"$servetmp/graphfly" "${common[@]}" -numberOfUpdateBatches 6 \
+    -outputFile "$servetmp/oracle.txt" > /dev/null
+cmp "$servetmp/served.txt" "$servetmp/oracle.txt"
+rm -rf "$servetmp"
+trap - EXIT
 
 echo "== bench smoke (machine-readable report + schema validation) =="
 benchtmp=$(mktemp -d)
