@@ -1,8 +1,8 @@
-// Command graphflyd is the long-lived serving daemon over the durable
-// selective engine: many concurrent ingest sessions append through the WAL
-// group-commit layer (one shared fsync per group under -fsync always), and
-// readers get consistent point-in-time answers from immutable batch-boundary
-// snapshots. The same binary doubles as the client.
+// Command graphflyd is the long-lived serving daemon over a durable engine
+// (selective or local): many concurrent ingest sessions append through the
+// WAL group-commit layer (one shared fsync per group under -fsync always),
+// and readers get consistent point-in-time answers from immutable
+// batch-boundary snapshots. The same binary doubles as the client.
 //
 // Server:
 //
@@ -47,7 +47,7 @@ func fatalf(format string, args ...any) {
 func main() {
 	client := flag.String("client", "", "run as a client: ingest | get | topk | stat | watch | dump")
 	addr := flag.String("addr", "127.0.0.1:8464", "server listen address (server) or target (client)")
-	algoName := flag.String("algo", "SSSP", "selective algorithm: BFS | SSSP | SSWP | CC")
+	algoName := flag.String("algo", "SSSP", "algorithm: BFS | SSSP | SSWP | CC (selective) or triangle | kcore (local)")
 	source := flag.Uint("source", 1, "source vertex for BFS/SSSP/SSWP")
 	datasetCode := flag.String("dataset", "LJ", "dataset preset: FT TT TW UK LJ")
 	nEdges := flag.Int("nEdges", 2000, "updates per generated batch (client ingest) and dataset batch sizing")
@@ -100,6 +100,27 @@ func parseAlg(name string, src graph.VertexID) (algo.Selective, bool) {
 	return nil, false
 }
 
+func parseLocalAlg(name string) (algo.Local, bool) {
+	switch name {
+	case "triangle", "TC":
+		return algo.TriangleCount{}, true
+	case "kcore", "kCore", "KCore":
+		return algo.KCore{}, true
+	}
+	return nil, false
+}
+
+// mirroredInitial doubles every initial edge for symmetric algorithms so
+// the starting graph is undirected; the engines symmetrize streamed
+// batches themselves.
+func mirroredInitial(initial []graph.Edge) []graph.Edge {
+	both := make([]graph.Edge, 0, 2*len(initial))
+	for _, e := range initial {
+		both = append(both, e, graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+	}
+	return both
+}
+
 // buildWorkload regenerates the deterministic dataset workload. Server and
 // ingest clients share it: the server takes the initial half, clients take
 // the batch stream, and gen's prefix stability makes any batch count a
@@ -122,9 +143,10 @@ func buildWorkload(dataset string, batchSize, numBatches int, deletions float64,
 func runServer(addr, algoName string, src graph.VertexID, dataset string, nEdges int, deletions float64, seed uint64,
 	workers, flowCap int, sched, walDir, fsync string, snapEvery int, groupWindow time.Duration,
 	maxSessions, maxPending int, showMetrics bool) {
-	alg, ok := parseAlg(algoName, src)
-	if !ok {
-		fatalf("unknown selective algorithm %q (serving supports BFS, SSSP, SSWP, CC)", algoName)
+	alg, selOK := parseAlg(algoName, src)
+	lalg, locOK := parseLocalAlg(algoName)
+	if !selOK && !locOK {
+		fatalf("unknown algorithm %q (serving supports BFS, SSSP, SSWP, CC, triangle, kcore)", algoName)
 	}
 	policy, ok := wal.ParseFsync(fsync)
 	if !ok {
@@ -147,38 +169,52 @@ func runServer(addr, algoName string, src graph.VertexID, dataset string, nEdges
 		SnapshotEvery: snapEvery,
 	}
 
-	var durable *wal.DurableSelective
-	if wal.HasSnapshot(walDir) {
-		var rs wal.RecoveryStats
-		var err error
-		durable, rs, err = wal.RecoverSelective(alg, eCfg, dc)
+	freshGraph := func(symmetric bool) *graph.Streaming {
+		w := buildWorkload(dataset, nEdges, 0, deletions, seed)
+		initial := w.Initial
+		if symmetric {
+			initial = mirroredInitial(initial)
+		}
+		return graph.FromEdges(w.NumV, initial)
+	}
+	reportRecovery := func(rs wal.RecoveryStats) {
+		fmt.Printf("recovered %s: snapshot seq %d, replayed %d batches to seq %d in %v\n",
+			walDir, rs.SnapshotSeq, rs.Replayed, rs.LastSeq, rs.Duration)
+	}
+
+	var backend serve.Backend
+	switch {
+	case selOK && wal.HasSnapshot(walDir):
+		durable, rs, err := wal.RecoverSelective(alg, eCfg, dc)
 		if err != nil {
 			fatalf("recovery from %s failed: %v", walDir, err)
 		}
-		fmt.Printf("recovered %s: snapshot seq %d, replayed %d batches to seq %d in %v\n",
-			walDir, rs.SnapshotSeq, rs.Replayed, rs.LastSeq, rs.Duration)
-	} else {
-		w := buildWorkload(dataset, nEdges, 0, deletions, seed)
-		initial := w.Initial
-		if alg.Symmetric() {
-			var both []graph.Edge
-			for _, e := range initial {
-				both = append(both, e, graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W})
-			}
-			initial = both
-		}
-		g := graph.FromEdges(w.NumV, initial)
-		var err error
-		durable, err = wal.NewDurableSelective(g, alg, eCfg, dc)
+		reportRecovery(rs)
+		backend = serve.SelectiveBackend{D: durable, Alg: alg}
+	case selOK:
+		durable, err := wal.NewDurableSelective(freshGraph(alg.Symmetric()), alg, eCfg, dc)
 		if err != nil {
 			fatalf("%v", err)
 		}
+		backend = serve.SelectiveBackend{D: durable, Alg: alg}
+	case wal.HasSnapshot(walDir):
+		durable, rs, err := wal.RecoverLocal(lalg, eCfg, dc)
+		if err != nil {
+			fatalf("recovery from %s failed: %v", walDir, err)
+		}
+		reportRecovery(rs)
+		backend = serve.LocalBackend{D: durable, Alg: lalg}
+	default:
+		durable, err := wal.NewDurableLocal(freshGraph(true), lalg, eCfg, dc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		backend = serve.LocalBackend{D: durable, Alg: lalg}
 	}
 
 	srv, err := serve.New(serve.Config{
 		Addr:        addr,
-		Durable:     durable,
-		Alg:         alg,
+		Backend:     backend,
 		MaxSessions: maxSessions,
 		MaxPending:  maxPending,
 		Metrics:     reg,
@@ -187,7 +223,7 @@ func runServer(addr, algoName string, src graph.VertexID, dataset string, nEdges
 		fatalf("%v", err)
 	}
 	fmt.Printf("graphflyd listening on %s (%s on %s, %d vertices, seq %d, fsync=%s)\n",
-		srv.Addr(), algoName, dataset, srv.Snapshot().NumVertices(), durable.Seq(), policy)
+		srv.Addr(), algoName, dataset, srv.Snapshot().NumVertices(), backend.Seq(), policy)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -198,7 +234,7 @@ func runServer(addr, algoName string, src graph.VertexID, dataset string, nEdges
 	if err := srv.Shutdown(sctx); err != nil {
 		fatalf("shutdown: %v", err)
 	}
-	fmt.Printf("graphflyd drained: durable through seq %d\n", durable.Seq())
+	fmt.Printf("graphflyd drained: durable through seq %d\n", backend.Seq())
 	if showMetrics {
 		fmt.Print(reg.Snapshot().String())
 	}

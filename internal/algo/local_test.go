@@ -1,0 +1,222 @@
+package algo_test
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// undirected builds a symmetric streaming graph from one-directional pairs.
+func undirected(n int, pairs [][2]uint32) *graph.Streaming {
+	var edges []graph.Edge
+	for _, p := range pairs {
+		edges = append(edges,
+			graph.Edge{Src: p[0], Dst: p[1], W: 1},
+			graph.Edge{Src: p[1], Dst: p[0], W: 1})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func valsOf(g *graph.Streaming, vals []float64) func(graph.VertexID) float64 {
+	_ = g
+	return func(v graph.VertexID) float64 { return vals[v] }
+}
+
+func TestSolveTrianglesKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		pairs [][2]uint32
+		want  []float64
+	}{
+		{"path", 4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}}, []float64{0, 0, 0, 0}},
+		{"triangle", 3, [][2]uint32{{0, 1}, {1, 2}, {0, 2}}, []float64{1, 1, 1}},
+		{"k4", 4, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+			[]float64{3, 3, 3, 3}},
+		{"bowtie", 5, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}},
+			[]float64{1, 1, 2, 1, 1}},
+	}
+	for _, tc := range cases {
+		g := undirected(tc.n, tc.pairs)
+		got := algo.SolveTriangles(g)
+		for v := range tc.want {
+			if got[v] != tc.want[v] {
+				t.Errorf("%s: triangle count of %d = %v, want %v", tc.name, v, got[v], tc.want[v])
+			}
+		}
+	}
+}
+
+func TestSolveKCoreKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		pairs [][2]uint32
+		want  []float64
+	}{
+		{"path", 4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}}, []float64{1, 1, 1, 1}},
+		{"k4", 4, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+			[]float64{3, 3, 3, 3}},
+		// triangle with a pendant hanging off vertex 2
+		{"lollipop", 4, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}},
+			[]float64{2, 2, 2, 1}},
+		{"isolated", 3, [][2]uint32{{0, 1}}, []float64{1, 1, 0}},
+	}
+	for _, tc := range cases {
+		g := undirected(tc.n, tc.pairs)
+		got := algo.SolveKCore(g)
+		for v := range tc.want {
+			if got[v] != tc.want[v] {
+				t.Errorf("%s: coreness of %d = %v, want %v", tc.name, v, got[v], tc.want[v])
+			}
+		}
+	}
+}
+
+// The from-scratch solution must be a Recompute fixpoint: this is the
+// quiescence condition the engine relies on, and for k-core it is the
+// H-index locality theorem (coreness is the unique seeded fixpoint).
+func TestLocalSolveIsRecomputeFixpoint(t *testing.T) {
+	cfg := gen.TestDataset(0xf1f1)
+	edges := gen.Generate(cfg)
+	var both []graph.Edge
+	for _, e := range edges {
+		both = append(both, e, graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+	}
+	g := graph.FromEdges(cfg.NumV, both)
+	for _, alg := range []algo.Local{algo.TriangleCount{}, algo.KCore{}} {
+		vals := alg.Solve(g)
+		val := valsOf(g, vals)
+		for v := 0; v < g.NumVertices(); v++ {
+			got := alg.Recompute(g, graph.VertexID(v), vals[v], val)
+			if got != vals[v] {
+				t.Fatalf("%s: Recompute(%d) = %v, want fixpoint %v", alg.Name(), v, got, vals[v])
+			}
+		}
+	}
+}
+
+// KCore.Plan must keep deletions in one leading step and give every
+// inserted undirected edge its own step (the subcore insertion theorem is
+// per-edge); together the steps must repartition the symmetrized batch.
+func TestKCorePlanDecomposition(t *testing.T) {
+	b := engine.Symmetrize(graph.Batch{
+		{Edge: graph.Edge{Src: 0, Dst: 1, W: 1}},
+		{Edge: graph.Edge{Src: 2, Dst: 3, W: 1}, Del: true},
+		{Edge: graph.Edge{Src: 4, Dst: 5, W: 1}},
+		{Edge: graph.Edge{Src: 6, Dst: 7, W: 1}, Del: true},
+	})
+	steps := algo.KCore{}.Plan(b)
+	if len(steps) != 3 {
+		t.Fatalf("Plan produced %d steps, want 3 (dels + 2 single adds): %v", len(steps), steps)
+	}
+	for _, u := range steps[0] {
+		if !u.Del {
+			t.Fatalf("first step must be deletion-only, got %+v", u)
+		}
+	}
+	if len(steps[0]) != 4 {
+		t.Fatalf("deletion step has %d updates, want 4 (2 mirrored pairs)", len(steps[0]))
+	}
+	for i, s := range steps[1:] {
+		if len(s) != 2 || s[0].Del || s[1].Del {
+			t.Fatalf("add step %d = %+v, want one mirrored insertion pair", i+1, s)
+		}
+		if s[0].Src != s[1].Dst || s[0].Dst != s[1].Src {
+			t.Fatalf("add step %d = %+v is not a mirror pair", i+1, s)
+		}
+	}
+	total := 0
+	for _, s := range steps {
+		total += len(s)
+	}
+	if total != len(b) {
+		t.Fatalf("steps cover %d updates, want %d", total, len(b))
+	}
+}
+
+// Closing a path into a cycle raises every vertex from core 1 to core 2;
+// the insertion seed must propagate the subcore BFS through the whole path,
+// not just the new edge's endpoints.
+func TestKCoreSeedInsertionSpreadsSubcore(t *testing.T) {
+	g := undirected(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	vals := algo.SolveKCore(g)
+	applied := graph.Batch{
+		{Edge: graph.Edge{Src: 0, Dst: 3, W: 1}},
+		{Edge: graph.Edge{Src: 3, Dst: 0, W: 1}},
+	}
+	g.ApplyBatch(applied)
+	emitted := map[graph.VertexID]bool{}
+	algo.KCore{}.Seed(g, applied,
+		func(v graph.VertexID) float64 { return vals[v] },
+		func(v graph.VertexID, x float64) { vals[v] = x },
+		func(v graph.VertexID) { emitted[v] = true })
+	for v := 0; v < 4; v++ {
+		if !emitted[graph.VertexID(v)] {
+			t.Fatalf("vertex %d not seeded after cycle-closing insertion", v)
+		}
+		if vals[v] != 2 {
+			t.Fatalf("vertex %d raised to %v, want super-solution value 2", v, vals[v])
+		}
+	}
+	// Descent from the seeded super-solution must land on the new coreness.
+	want := algo.SolveKCore(g)
+	val := func(v graph.VertexID) float64 { return vals[v] }
+	for v := 0; v < 4; v++ {
+		if got := (algo.KCore{}).Recompute(g, graph.VertexID(v), vals[v], val); got != want[v] {
+			t.Fatalf("vertex %d: descent gives %v, want %v", v, got, want[v])
+		}
+	}
+}
+
+// Completing a wedge into a triangle must seed the common neighbor, whose
+// count changes even though it is not an endpoint of the new edge.
+func TestTriangleSeedIncludesCommonNeighbors(t *testing.T) {
+	g := undirected(3, [][2]uint32{{0, 1}, {0, 2}})
+	applied := graph.Batch{
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 1}},
+		{Edge: graph.Edge{Src: 2, Dst: 1, W: 1}},
+	}
+	g.ApplyBatch(applied)
+	emitted := map[graph.VertexID]bool{}
+	algo.TriangleCount{}.Seed(g, applied,
+		func(graph.VertexID) float64 { return 0 },
+		func(graph.VertexID, float64) {},
+		func(v graph.VertexID) { emitted[v] = true })
+	for v := 0; v < 3; v++ {
+		if !emitted[graph.VertexID(v)] {
+			t.Fatalf("vertex %d not seeded (common neighbor 0 must be included)", v)
+		}
+	}
+}
+
+// Deleting a triangle edge must seed the surviving common neighbor so its
+// count drops — the non-monotonic direction the selective trim path never
+// exercises.
+func TestTriangleSeedDeletion(t *testing.T) {
+	g := undirected(3, [][2]uint32{{0, 1}, {0, 2}, {1, 2}})
+	applied := graph.Batch{
+		{Edge: graph.Edge{Src: 1, Dst: 2, W: 1}, Del: true},
+		{Edge: graph.Edge{Src: 2, Dst: 1, W: 1}, Del: true},
+	}
+	g.ApplyBatch(applied)
+	emitted := map[graph.VertexID]bool{}
+	algo.TriangleCount{}.Seed(g, applied,
+		func(graph.VertexID) float64 { return 1 },
+		func(graph.VertexID, float64) {},
+		func(v graph.VertexID) { emitted[v] = true })
+	for v := 0; v < 3; v++ {
+		if !emitted[graph.VertexID(v)] {
+			t.Fatalf("vertex %d not seeded after triangle-breaking deletion", v)
+		}
+	}
+	val := func(graph.VertexID) float64 { return 1 }
+	for v := 0; v < 3; v++ {
+		if got := (algo.TriangleCount{}).Recompute(g, graph.VertexID(v), 1, val); got != 0 {
+			t.Fatalf("vertex %d recomputes to %v, want 0", v, got)
+		}
+	}
+}

@@ -68,6 +68,11 @@ type Config struct {
 	// flow graph at repartition) fresh each batch instead of reusing the
 	// retained epoch-stamped/arena structures.
 	DenseOff bool
+	// FaultSkipTrim deliberately skips the selective engine's key-edge
+	// subtree trim on deletions — a seeded consistency bug used by
+	// internal/oracle's mutation tests to prove the harness detects
+	// stale-value violations. Never set outside tests.
+	FaultSkipTrim bool
 }
 
 func (c Config) workers() int {

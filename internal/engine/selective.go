@@ -297,6 +297,9 @@ func (e *Selective) processBatch(ctx context.Context, batch graph.Batch) BatchSt
 		if !u.Del || e.parent[u.Dst] != int32(u.Src) {
 			continue
 		}
+		if e.cfg.FaultSkipTrim {
+			continue // injected bug for oracle mutation tests
+		}
 		st.TrimRoots++
 		e.kf.Subtree(uint32(u.Dst), func(x uint32) bool {
 			if e.trimmed.swapSet(x) {

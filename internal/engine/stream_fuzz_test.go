@@ -49,6 +49,17 @@ func fuzzShapes() []fuzzShape {
 				NumBatches:      3,
 			})
 		}},
+		// Deletion-only: the adversarial phase — every batch is pure
+		// teardown of a warm graph, so values only move in the "wrong"
+		// direction (selective floors rise, triangle counts and coreness
+		// fall) and nothing masks a missed invalidation.
+		{"delete-only", func(seed uint64) gen.Workload {
+			return fuzzRMAT(seed, gen.StreamConfig{
+				InitialFraction: 0.9,
+				DeleteRatio:     1.0,
+				NumBatches:      3,
+			})
+		}},
 		// Add/delete-interleaved: a balanced mix, with each batch's
 		// updates deterministically shuffled so additions and deletions
 		// alternate arbitrarily. Safe to reorder: BuildWorkload never

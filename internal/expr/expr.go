@@ -189,6 +189,21 @@ func AccumulativeAlgs() []AccAlg {
 	}
 }
 
+// LocalAlg names a local (non-monotonic) algorithm and builds it.
+type LocalAlg struct {
+	Name string
+	Make func(w gen.Workload) algo.Local
+}
+
+// LocalAlgs returns the local-engine algorithms (this reproduction's
+// non-monotonic extension; no paper counterpart).
+func LocalAlgs() []LocalAlg {
+	return []LocalAlg{
+		{"Triangle", func(gen.Workload) algo.Local { return algo.TriangleCount{} }},
+		{"kCore", func(gen.Workload) algo.Local { return algo.KCore{} }},
+	}
+}
+
 // incrementalProcessor is any engine that consumes batches.
 type incrementalProcessor interface {
 	ProcessBatch(graph.Batch) engine.BatchStats

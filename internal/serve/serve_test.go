@@ -266,6 +266,235 @@ func TestServeConcurrentIngestAndReaders(t *testing.T) {
 	}
 }
 
+// mirrorEdges doubles the initial edge list so local (undirected)
+// algorithms start from a symmetric graph, matching what graphflyd does.
+func mirrorEdges(initial []graph.Edge) []graph.Edge {
+	both := make([]graph.Edge, 0, 2*len(initial))
+	for _, e := range initial {
+		both = append(both, e, graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+	}
+	return both
+}
+
+func newLocalTestServer(t *testing.T, cfg Config, alg algo.Local, numV int, initial []graph.Edge) (*Server, *wal.DurableLocal, wal.DurableConfig) {
+	t.Helper()
+	dc := wal.DurableConfig{Wal: wal.Options{Dir: t.TempDir(), Policy: wal.FsyncAlways}, SnapshotEvery: 4}
+	d, err := wal.NewDurableLocal(graph.FromEdges(numV, mirrorEdges(initial)), alg, engine.Config{Workers: 2}, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Addr = "127.0.0.1:0"
+	cfg.Backend = LocalBackend{D: d, Alg: alg}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, d, dc
+}
+
+// localOracle replays the stream onto a from-scratch undirected graph the
+// same way the serving engine sees it (symmetrized batches) and solves it
+// statically.
+func localOracle(alg algo.Local, numV int, initial []graph.Edge, batches []graph.Batch) []float64 {
+	ref := graph.FromEdges(numV, mirrorEdges(initial))
+	for _, b := range batches {
+		ref.ApplyBatch(engine.Symmetrize(b))
+	}
+	return alg.Solve(ref)
+}
+
+// awaitApplied polls Stat until the applier has folded every acked batch
+// into the published snapshot, checking the logged/applied watermark
+// invariant along the way.
+func awaitApplied(t *testing.T, c *Client, total uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.LoggedSeq < st.AppliedSeq {
+			t.Errorf("logged %d < applied %d", st.LoggedSeq, st.AppliedSeq)
+		}
+		if st.AppliedSeq == total {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("applier stuck at seq %d, want %d", st.AppliedSeq, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeLocalTriangleTopK serves incremental triangle counting through
+// the local backend: after a streamed ingest, top-k replies from the
+// published snapshot must rank vertices by triangle count and agree
+// bit-exactly with a from-scratch count, and the drained directory must
+// recover to the served state.
+func TestServeLocalTriangleTopK(t *testing.T) {
+	alg := algo.TriangleCount{}
+	numV, initial, perSess := testStream(33, 1, 4, 30)
+	srv, _, dc := newLocalTestServer(t, Config{}, alg, numV, initial)
+	addr := srv.Addr()
+	total := uint64(len(perSess[0]))
+
+	ing, err := Dial(addr, RoleIngest, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ing.Welcome.AlgName; got != "triangle" {
+		t.Fatalf("welcome algorithm %q, want triangle", got)
+	}
+	for i, b := range perSess[0] {
+		seq, err := ing.IngestRetry(b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("batch %d acked seq %d", i, seq)
+		}
+	}
+	ing.Close()
+
+	qry, err := Dial(addr, RoleQuery, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitApplied(t, qry, total)
+	want := localOracle(alg, numV, initial, perSess[0])
+
+	// Top-k triangle counts from the published snapshot: ranked by Better
+	// (descending count) and bit-exact against the oracle.
+	recs, seq, err := qry.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != total {
+		t.Fatalf("top-k answered at seq %d, want %d", seq, total)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("top-5 returned %d records", len(recs))
+	}
+	best := want[0]
+	for _, w := range want {
+		if w > best {
+			best = w
+		}
+	}
+	if recs[0].Val != best {
+		t.Fatalf("top-1 count %g, want the global max %g", recs[0].Val, best)
+	}
+	for i, r := range recs {
+		if r.Val != want[r.V] {
+			t.Errorf("top-k[%d]: vertex %d count %g, oracle %g", i, r.V, r.Val, want[r.V])
+		}
+		if i > 0 && alg.Better(r.Val, recs[i-1].Val) {
+			t.Errorf("top-k out of order at %d: %g after %g", i, r.Val, recs[i-1].Val)
+		}
+	}
+
+	// Point reads come from the same snapshot; local snapshots have no
+	// key-edge parents.
+	for v := 0; v < numV; v += 17 {
+		val, parent, gseq, err := qry.Get(graph.VertexID(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gseq != total || val != want[v] || parent != -1 {
+			t.Errorf("get %d: (val %g, parent %d, seq %d), want (%g, -1, %d)", v, val, parent, gseq, want[v], total)
+		}
+	}
+	qry.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	rec, rs, err := wal.RecoverLocal(alg, engine.Config{Workers: 2}, dc)
+	if err != nil {
+		t.Fatalf("recovery after drain: %v", err)
+	}
+	defer rec.Close()
+	if rs.LastSeq != total || rs.Replayed != int(rs.LastSeq-rs.SnapshotSeq) {
+		t.Fatalf("recovery stats %+v, want LastSeq %d with exactly-once replay", rs, total)
+	}
+	if !valsEqual(rec.Eng.Values(), want) {
+		t.Fatal("recovered triangle counts differ from oracle")
+	}
+}
+
+// TestServeLocalKCoreStat serves k-core maintenance through the local
+// backend: stat probes stay consistent while the stream applies, and a
+// full-width top-k (the consistent point-in-time dump) must equal the
+// from-scratch coreness of the final graph.
+func TestServeLocalKCoreStat(t *testing.T) {
+	alg := algo.KCore{}
+	numV, initial, perSess := testStream(34, 1, 4, 30)
+	srv, d, _ := newLocalTestServer(t, Config{}, alg, numV, initial)
+	addr := srv.Addr()
+	total := uint64(len(perSess[0]))
+
+	ing, err := Dial(addr, RoleIngest, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ing.Welcome.AlgName; got != "kCore" {
+		t.Fatalf("welcome algorithm %q, want kCore", got)
+	}
+	qry, err := Dial(addr, RoleQuery, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave stat probes with ingest: the logged watermark must never
+	// trail the applied one mid-stream.
+	for i, b := range perSess[0] {
+		if _, err := ing.IngestRetry(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		st, err := qry.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.LoggedSeq < st.AppliedSeq {
+			t.Errorf("after batch %d: logged %d < applied %d", i, st.LoggedSeq, st.AppliedSeq)
+		}
+		if st.Sessions != 2 {
+			t.Errorf("after batch %d: stat reports %d sessions, want 2", i, st.Sessions)
+		}
+	}
+	ing.Close()
+	awaitApplied(t, qry, total)
+
+	// The full-width top-k is a consistent coreness dump of every vertex.
+	want := localOracle(alg, numV, initial, perSess[0])
+	recs, seq, err := qry.TopK(numV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != total || len(recs) != numV {
+		t.Fatalf("dump: %d records at seq %d, want %d at %d", len(recs), seq, numV, total)
+	}
+	got := make([]float64, numV)
+	for _, r := range recs {
+		got[r.V] = r.Val
+	}
+	if !valsEqual(got, want) {
+		t.Fatal("served coreness differs from from-scratch k-core")
+	}
+	if !valsEqual(d.Eng.Values(), want) {
+		t.Fatal("engine coreness differs from from-scratch k-core")
+	}
+	qry.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
 func TestServeTypedRejects(t *testing.T) {
 	alg := algo.SSSP{Src: 0}
 	numV, initial, perSess := testStream(32, 1, 1, 10)

@@ -20,10 +20,15 @@ import (
 type Config struct {
 	// Addr is the listen address (e.g. "127.0.0.1:0").
 	Addr string
-	// Durable is the engine + WAL the server owns. The server puts its log
-	// in serving (group-commit) mode and closes it on Shutdown.
+	// Backend is the durable engine the server owns. The server puts its
+	// log in serving (group-commit) mode and closes it on Shutdown. When
+	// nil, Durable+Alg below are wrapped in a SelectiveBackend.
+	Backend Backend
+	// Durable is the selective engine + WAL (legacy configuration; ignored
+	// when Backend is set).
 	Durable *wal.DurableSelective
-	// Alg is the algorithm the engine runs; its Better orders top-k replies.
+	// Alg is the selective algorithm Durable runs; its Better orders top-k
+	// replies (legacy configuration; ignored when Backend is set).
 	Alg algo.Selective
 	// MaxSessions caps concurrent sessions, all roles (default 64).
 	MaxSessions int
@@ -89,10 +94,9 @@ type logged struct {
 // so the state any snapshot exposes is the state recovery would rebuild.
 type Server struct {
 	cfg Config
-	d   *wal.DurableSelective
+	b   Backend
 	gc  *wal.GroupCommit
 	ln  net.Listener
-	alg algo.Selective
 
 	// tokens is the admission window: an ingest worker must place a token
 	// (non-blocking) before appending, and the applier removes it after the
@@ -122,13 +126,16 @@ type Server struct {
 // New starts a server listening on cfg.Addr. The durable engine's log moves
 // into serving mode; use Shutdown for a clean stop.
 func New(cfg Config) (*Server, error) {
-	if cfg.Durable == nil {
-		return nil, errors.New("serve: Config.Durable is required")
+	backend := cfg.Backend
+	if backend == nil {
+		if cfg.Durable == nil {
+			return nil, errors.New("serve: Config.Backend (or Config.Durable) is required")
+		}
+		backend = SelectiveBackend{D: cfg.Durable, Alg: cfg.Alg}
 	}
 	s := &Server{
 		cfg:         cfg,
-		d:           cfg.Durable,
-		alg:         cfg.Alg,
+		b:           backend,
 		tokens:      make(chan struct{}, cfg.maxPending()),
 		applyQ:      make(chan logged, cfg.maxPending()),
 		sessions:    make(map[*session]struct{}),
@@ -144,8 +151,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	// Readers have a consistent answer from the first connection on, even
 	// before any batch arrives.
-	s.snap.Store(s.d.Eng.StateSnapshot(s.d.Seq()))
-	s.gc = s.d.Group(func(seq uint64, b graph.Batch) {
+	s.snap.Store(s.b.StateSnapshot(s.b.Seq()))
+	s.gc = s.b.Group(func(seq uint64, b graph.Batch) {
 		// Runs under the append mutex: enqueue in logged order. Never
 		// blocks — admission tokens bound entries to cap(applyQ).
 		s.applyQ <- logged{seq: seq, b: b, at: time.Now()}
@@ -191,7 +198,7 @@ func (s *Server) applier() {
 		failed := s.failed
 		s.mu.Unlock()
 		if failed == nil {
-			if _, err := s.d.ApplyLogged(context.Background(), lg.seq, lg.b); err != nil {
+			if _, err := s.b.ApplyLogged(context.Background(), lg.seq, lg.b); err != nil {
 				// The batch is durably logged but the in-memory apply died;
 				// refuse further work — recovery from the directory is the
 				// consistent path (the WAL tail holds everything).
@@ -200,7 +207,7 @@ func (s *Server) applier() {
 				s.mu.Unlock()
 			} else {
 				prev := s.snap.Load()
-				next := s.d.Eng.StateSnapshot(lg.seq)
+				next := s.b.StateSnapshot(lg.seq)
 				s.snap.Store(next)
 				if s.mReadLag != nil {
 					s.mReadLag.Observe(time.Since(lg.at).Nanoseconds())
@@ -297,12 +304,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.sessWG.Wait()
 
-	if derr == nil && failed == nil && !s.d.Dirty() {
-		if err := s.d.Snapshot(); err != nil && !errors.Is(err, wal.ErrEngineDirty) {
+	if derr == nil && failed == nil && !s.b.Dirty() {
+		if err := s.b.Snapshot(); err != nil && !errors.Is(err, wal.ErrEngineDirty) {
 			derr = err
 		}
 	}
-	if err := s.d.Close(); err != nil && derr == nil {
+	if err := s.b.Close(); err != nil && derr == nil {
 		derr = err
 	}
 	if failed != nil && derr == nil {

@@ -116,7 +116,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	c.write(skWelcome, encodeWelcome(welcome{
-		AlgName: s.alg.Name(),
+		AlgName: s.b.AlgName(),
 		NumV:    uint32(s.snap.Load().NumVertices()),
 		Seq:     s.snap.Load().Seq,
 	}))
@@ -144,7 +144,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				c.reject(RejectBadRequest, derr.Error())
 				return
 			}
-			if cerr := s.d.Eng.G.CheckBatch(b); cerr != nil {
+			if cerr := s.b.CheckBatch(b); cerr != nil {
 				// Malformed content is rejected before it can reach the WAL,
 				// but the session may continue with its next batch.
 				c.reject(RejectBadRequest, cerr.Error())
@@ -222,7 +222,7 @@ func (c *session) handleTopK(payload []byte) {
 		return
 	}
 	snap := c.srv.snap.Load()
-	c.write(skTopKReply, encodeVVList(vvList{Seq: snap.Seq, Recs: snap.TopK(k, c.srv.alg.Better)}))
+	c.write(skTopKReply, encodeVVList(vvList{Seq: snap.Seq, Recs: snap.TopK(k, c.srv.b.Better)}))
 }
 
 func (c *session) handleStat() {

@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 )
 
@@ -54,6 +55,10 @@ const (
 	KindSnapFooter byte = 5
 	// KindDistCheckpoint is the distributed runtime's checkpoint payload.
 	KindDistCheckpoint byte = 6
+	// KindSnapAccState carries the accumulative engine's residual state
+	// (rank vector + aggregate + last-broadcast residuals) in place of
+	// KindSnapState inside an accumulative snapshot file.
+	KindSnapAccState byte = 7
 )
 
 // castagnoli is the CRC32C polynomial table (the same checksum families
@@ -279,4 +284,49 @@ func DecodeState(p []byte, numVals, numV int) (vals []float64, parent []int32, e
 		parent[i] = pv
 	}
 	return vals, parent, nil
+}
+
+// EncodeAccState appends the accumulative engine's residual state: a header
+// of [4B dim][4B numV] followed by the state, aggregate, and last-broadcast
+// vectors, each numV*dim little-endian float64 bits. buf may be nil.
+func EncodeAccState(buf []byte, numV int, st *engine.AccState) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(numV))
+	for _, vec := range [][]float64{st.State, st.Agg, st.LastUnit} {
+		for _, v := range vec {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// DecodeAccState decodes EncodeAccState's payload, validating the declared
+// dimension and vertex count against the snapshot header's.
+func DecodeAccState(p []byte, numV int) (*engine.AccState, error) {
+	if len(p) < 8 {
+		return nil, fmt.Errorf("%w: acc state payload %d bytes", ErrCorrupt, len(p))
+	}
+	dim := int(binary.LittleEndian.Uint32(p[0:4]))
+	nv := int(binary.LittleEndian.Uint32(p[4:8]))
+	p = p[8:]
+	if dim < 1 || dim > 1<<12 {
+		return nil, fmt.Errorf("%w: acc state declares dim %d", ErrCorrupt, dim)
+	}
+	if nv != numV {
+		return nil, fmt.Errorf("%w: acc state declares %d vertices, want %d", ErrCorrupt, nv, numV)
+	}
+	n := nv * dim
+	if len(p) != 3*n*8 {
+		return nil, fmt.Errorf("%w: acc state payload %d bytes, want %d", ErrCorrupt, len(p), 3*n*8)
+	}
+	st := &engine.AccState{Dim: dim}
+	for _, dst := range []*[]float64{&st.State, &st.Agg, &st.LastUnit} {
+		vec := make([]float64, n)
+		for i := range vec {
+			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+		}
+		p = p[n*8:]
+		*dst = vec
+	}
+	return st, nil
 }

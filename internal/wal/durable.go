@@ -46,14 +46,11 @@ type DurableConfig struct {
 	SnapshotEvery int
 }
 
-// DurableSelective wraps a Selective engine with write-ahead durability:
-// each batch is logged (and synced per policy) before the engine applies
-// it, and periodic snapshots bound replay length and log size. After a
-// crash, RecoverSelective restores the newest intact snapshot and replays
-// the log tail to the exact pre-crash acknowledged state.
-type DurableSelective struct {
-	Eng *engine.Selective
-
+// durableCore is the engine-agnostic half of a durable wrapper: the
+// log-before-apply protocol, the dirty bracket, group-commit serving mode,
+// snapshot cadence, retention, and log truncation. The engine-specific half
+// plugs in through the three closures.
+type durableCore struct {
 	mu        sync.Mutex // serializes batch apply, snapshot, and seq/dirty
 	log       *Log
 	cfg       DurableConfig
@@ -61,35 +58,10 @@ type DurableSelective struct {
 	sinceSnap int
 	dirty     bool         // a batch is mid-apply (or died mid-apply)
 	gc        *GroupCommit // non-nil once Group() put the log in serving mode
-}
 
-// NewDurableSelective builds a fresh engine over g (running the static
-// solve) and makes it durable: the directory must not already hold a
-// snapshot or log — recover those with RecoverSelective instead.
-func NewDurableSelective(g *graph.Streaming, alg algo.Selective, ecfg engine.Config, dc DurableConfig) (*DurableSelective, error) {
-	if HasSnapshot(dc.Wal.Dir) {
-		return nil, fmt.Errorf("wal: %s already holds a snapshot; use RecoverSelective", dc.Wal.Dir)
-	}
-	log, err := Open(dc.Wal)
-	if err != nil {
-		return nil, err
-	}
-	if log.LastSeq() != 0 {
-		log.Close()
-		return nil, fmt.Errorf("wal: %s holds a log but no snapshot; cannot establish a recovery base", dc.Wal.Dir)
-	}
-	d := &DurableSelective{
-		Eng: engine.NewSelective(g, alg, ecfg),
-		log: log,
-		cfg: dc,
-	}
-	// The creation-time snapshot (seq 0) makes the initial graph and solve
-	// durable, so recovery never depends on regenerating the input.
-	if err := d.Snapshot(); err != nil {
-		log.Close()
-		return nil, err
-	}
-	return d, nil
+	checkBatch func(graph.Batch) error
+	applyBatch func(context.Context, graph.Batch) (engine.BatchStats, error)
+	writeSnap  func(seq uint64) error // persist the engine state at seq
 }
 
 // ProcessBatch validates, logs, syncs (per policy), and only then applies
@@ -97,13 +69,13 @@ func NewDurableSelective(g *graph.Streaming, alg algo.Selective, ecfg engine.Con
 // the fsync policy promises; a non-nil return means it was NOT acknowledged
 // (a malformed batch mutated nothing; any other error leaves the wrapper
 // unusable — recover from the directory).
-func (d *DurableSelective) ProcessBatch(ctx context.Context, batch graph.Batch) (engine.BatchStats, error) {
+func (d *durableCore) ProcessBatch(ctx context.Context, batch graph.Batch) (engine.BatchStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.gc != nil {
 		return engine.BatchStats{}, fmt.Errorf("wal: log is in serving mode; append through the group and apply with ApplyLogged")
 	}
-	if err := d.Eng.G.CheckBatch(batch); err != nil {
+	if err := d.checkBatch(batch); err != nil {
 		return engine.BatchStats{}, err // reject before logging garbage
 	}
 	seq := d.seq + 1
@@ -117,9 +89,9 @@ func (d *DurableSelective) ProcessBatch(ctx context.Context, batch graph.Batch) 
 // advances the acknowledged sequence and the snapshot cadence. The dirty
 // flag brackets the apply: if the engine is canceled or fails mid-batch the
 // flag stays set and Snapshot refuses to persist the half-applied state.
-func (d *DurableSelective) applyLocked(ctx context.Context, seq uint64, batch graph.Batch) (engine.BatchStats, error) {
+func (d *durableCore) applyLocked(ctx context.Context, seq uint64, batch graph.Batch) (engine.BatchStats, error) {
 	d.dirty = true
-	st, err := d.Eng.ProcessBatchCtx(ctx, batch)
+	st, err := d.applyBatch(ctx, batch)
 	if err != nil {
 		return st, err
 	}
@@ -139,7 +111,7 @@ func (d *DurableSelective) applyLocked(ctx context.Context, seq uint64, batch gr
 // single applier feeds the engine in logged order). seq must be exactly
 // Seq()+1 — the logged order is the only apply order recovery can
 // reproduce.
-func (d *DurableSelective) ApplyLogged(ctx context.Context, seq uint64, batch graph.Batch) (engine.BatchStats, error) {
+func (d *durableCore) ApplyLogged(ctx context.Context, seq uint64, batch graph.Batch) (engine.BatchStats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if seq != d.seq+1 {
@@ -152,7 +124,7 @@ func (d *DurableSelective) ApplyLogged(ctx context.Context, seq uint64, batch gr
 // returned GroupCommit (sharing fsyncs under FsyncAlways), onAppend observes
 // every append in logged order, and ProcessBatch is disabled in favor of
 // ApplyLogged. groupSize, when non-nil, records appends-per-fsync.
-func (d *DurableSelective) Group(onAppend func(seq uint64, b graph.Batch), groupSize *metrics.Histogram) *GroupCommit {
+func (d *durableCore) Group(onAppend func(seq uint64, b graph.Batch), groupSize *metrics.Histogram) *GroupCommit {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.gc == nil {
@@ -164,28 +136,28 @@ func (d *DurableSelective) Group(onAppend func(seq uint64, b graph.Batch), group
 // Dirty reports whether the engine died mid-batch (canceled apply), in
 // which case the in-memory state is between batch boundaries and must not
 // be snapshotted; recovery from the directory is the only safe exit.
-func (d *DurableSelective) Dirty() bool {
+func (d *durableCore) Dirty() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.dirty
 }
 
 // Seq returns the sequence of the last acknowledged (applied) batch.
-func (d *DurableSelective) Seq() uint64 {
+func (d *durableCore) Seq() uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.seq
 }
 
 // Log exposes the underlying log (read-only use).
-func (d *DurableSelective) Log() *Log { return d.log }
+func (d *durableCore) Log() *Log { return d.log }
 
 // Snapshot checkpoints the current state at the current sequence, applies
 // retention (keep snapRetain newest), and truncates the log through the
 // older retained snapshot. It refuses (ErrEngineDirty) when the last batch
 // died mid-apply — persisting that state would fabricate a corrupt-but-
 // CRC-valid recovery base.
-func (d *DurableSelective) Snapshot() error {
+func (d *durableCore) Snapshot() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.snapshotLocked()
@@ -194,14 +166,14 @@ func (d *DurableSelective) Snapshot() error {
 // withLog runs f on the log, under the group's append mutex when the log is
 // in serving mode so snapshot-driven syncs and truncations never interleave
 // with a concurrent append's write or rotation.
-func (d *DurableSelective) withLog(f func(l *Log) error) error {
+func (d *durableCore) withLog(f func(l *Log) error) error {
 	if d.gc != nil {
 		return d.gc.withLog(f)
 	}
 	return f(d.log)
 }
 
-func (d *DurableSelective) snapshotLocked() error {
+func (d *durableCore) snapshotLocked() error {
 	if d.dirty {
 		return ErrEngineDirty
 	}
@@ -211,8 +183,7 @@ func (d *DurableSelective) snapshotLocked() error {
 			return err
 		}
 	}
-	vals, parent := d.Eng.SnapshotState()
-	if err := WriteSnapshot(d.cfg.Wal, d.seq, d.Eng.G, vals, parent); err != nil {
+	if err := d.writeSnap(d.seq); err != nil {
 		return err
 	}
 	d.sinceSnap = 0
@@ -239,7 +210,7 @@ func (d *DurableSelective) snapshotLocked() error {
 // Close syncs (per policy) and closes the log. The engine stays usable but
 // further batches are no longer durable. In serving mode the caller must
 // have stopped every appender first.
-func (d *DurableSelective) Close() error {
+func (d *durableCore) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.withLog((*Log).Close)
@@ -247,7 +218,63 @@ func (d *DurableSelective) Close() error {
 
 // abandon drops the log handle without any cleanup — the crash fuzzer's
 // process-death stand-in.
-func (d *DurableSelective) abandon() { d.log.abandon() }
+func (d *durableCore) abandon() { d.log.abandon() }
+
+// openFreshLog opens dc's directory for a brand-new durable engine,
+// refusing directories that already hold recovery artifacts.
+func openFreshLog(dc DurableConfig, recoverWith string) (*Log, error) {
+	if HasSnapshot(dc.Wal.Dir) {
+		return nil, fmt.Errorf("wal: %s already holds a snapshot; use %s", dc.Wal.Dir, recoverWith)
+	}
+	log, err := Open(dc.Wal)
+	if err != nil {
+		return nil, err
+	}
+	if log.LastSeq() != 0 {
+		log.Close()
+		return nil, fmt.Errorf("wal: %s holds a log but no snapshot; cannot establish a recovery base", dc.Wal.Dir)
+	}
+	return log, nil
+}
+
+// DurableSelective wraps a Selective engine with write-ahead durability:
+// each batch is logged (and synced per policy) before the engine applies
+// it, and periodic snapshots bound replay length and log size. After a
+// crash, RecoverSelective restores the newest intact snapshot and replays
+// the log tail to the exact pre-crash acknowledged state.
+type DurableSelective struct {
+	Eng *engine.Selective
+	durableCore
+}
+
+func (d *DurableSelective) wire() {
+	d.checkBatch = d.Eng.G.CheckBatch
+	d.applyBatch = d.Eng.ProcessBatchCtx
+	d.writeSnap = func(seq uint64) error {
+		vals, parent := d.Eng.SnapshotState()
+		return WriteSnapshot(d.cfg.Wal, seq, d.Eng.G, vals, parent)
+	}
+}
+
+// NewDurableSelective builds a fresh engine over g (running the static
+// solve) and makes it durable: the directory must not already hold a
+// snapshot or log — recover those with RecoverSelective instead.
+func NewDurableSelective(g *graph.Streaming, alg algo.Selective, ecfg engine.Config, dc DurableConfig) (*DurableSelective, error) {
+	log, err := openFreshLog(dc, "RecoverSelective")
+	if err != nil {
+		return nil, err
+	}
+	d := &DurableSelective{Eng: engine.NewSelective(g, alg, ecfg)}
+	d.log, d.cfg = log, dc
+	d.wire()
+	// The creation-time snapshot (seq 0) makes the initial graph and solve
+	// durable, so recovery never depends on regenerating the input.
+	if err := d.Snapshot(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return d, nil
+}
 
 // RecoveryStats summarizes one recovery.
 type RecoveryStats struct {
@@ -255,6 +282,62 @@ type RecoveryStats struct {
 	Replayed    int           // WAL frames replayed through the engine
 	LastSeq     uint64        // last acknowledged sequence after recovery
 	Duration    time.Duration // wall time of the whole recovery
+}
+
+// replayTail opens dc's log and replays every frame past snapSeq through
+// apply, updating rs; it then repairs a log whose surviving tail predates
+// the snapshot (an unsynced tail torn away) by restarting the sequence
+// chain at the snapshot. Shared by every recovery path.
+func replayTail(dc DurableConfig, snapSeq uint64, rs *RecoveryStats,
+	apply func(b graph.Batch) error) (*Log, error) {
+	log, err := Open(dc.Wal)
+	if err != nil {
+		return nil, err
+	}
+	last := snapSeq
+	err = log.Replay(snapSeq, func(seq uint64, b graph.Batch) error {
+		if err := apply(b); err != nil {
+			return err
+		}
+		last = seq
+		rs.Replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if log.LastSeq() < snapSeq {
+		if err := log.resetTo(snapSeq); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	rs.LastSeq = last
+	if m := dc.Wal.Metrics; m != nil {
+		m.Counter("recovery.replay_batches").Add(int64(rs.Replayed))
+	}
+	return log, nil
+}
+
+// newestValidating walks the directory's snapshots newest-first and returns
+// the first path read accepts (the retention policy guarantees the log
+// still covers the older one when the newest is damaged).
+func newestValidating(dir string, read func(path string) error) error {
+	seqs, err := Snapshots(dir)
+	if err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		return ErrNoSnapshot
+	}
+	var lastErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		if lastErr = read(filepath.Join(dir, SnapName(seqs[i]))); lastErr == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("wal: no snapshot validates: %w", lastErr)
 }
 
 // RecoverSelective rebuilds a durable engine from dc.Wal.Dir: it restores
@@ -267,20 +350,13 @@ type RecoveryStats struct {
 func RecoverSelective(alg algo.Selective, ecfg engine.Config, dc DurableConfig) (*DurableSelective, RecoveryStats, error) {
 	t0 := time.Now()
 	var rs RecoveryStats
-	seqs, err := Snapshots(dc.Wal.Dir)
-	if err != nil {
-		return nil, rs, err
-	}
-	if len(seqs) == 0 {
-		return nil, rs, ErrNoSnapshot
-	}
 	var sd *SnapshotData
-	var lastErr error
-	for i := len(seqs) - 1; i >= 0 && sd == nil; i-- {
-		sd, lastErr = ReadSnapshot(filepath.Join(dc.Wal.Dir, SnapName(seqs[i])))
-	}
-	if sd == nil {
-		return nil, rs, fmt.Errorf("wal: no snapshot validates: %w", lastErr)
+	if err := newestValidating(dc.Wal.Dir, func(path string) error {
+		var err error
+		sd, err = ReadSnapshot(path)
+		return err
+	}); err != nil {
+		return nil, rs, err
 	}
 	rs.SnapshotSeq = sd.Seq
 
@@ -289,37 +365,19 @@ func RecoverSelective(alg algo.Selective, ecfg engine.Config, dc DurableConfig) 
 	if err != nil {
 		return nil, rs, err
 	}
-	log, err := Open(dc.Wal)
-	if err != nil {
-		return nil, rs, err
-	}
-	last := sd.Seq
-	err = log.Replay(sd.Seq, func(seq uint64, b graph.Batch) error {
-		if _, err := eng.ProcessBatchE(b); err != nil {
-			return err
-		}
-		last = seq
-		rs.Replayed++
-		return nil
+	log, err := replayTail(dc, sd.Seq, &rs, func(b graph.Batch) error {
+		_, err := eng.ProcessBatchE(b)
+		return err
 	})
 	if err != nil {
-		log.Close()
 		return nil, rs, err
 	}
-	if log.LastSeq() < sd.Seq {
-		// The log's surviving tail predates the snapshot (an unsynced tail
-		// was torn away): every remaining frame is covered, so restart the
-		// sequence chain at the snapshot.
-		if err := log.resetTo(sd.Seq); err != nil {
-			log.Close()
-			return nil, rs, err
-		}
-	}
-	rs.LastSeq = last
 	rs.Duration = time.Since(t0)
 	if m := dc.Wal.Metrics; m != nil {
-		m.Counter("recovery.replay_batches").Add(int64(rs.Replayed))
 		m.Gauge("recovery.ns").Set(float64(rs.Duration.Nanoseconds()))
 	}
-	return &DurableSelective{Eng: eng, log: log, cfg: dc, seq: last}, rs, nil
+	d := &DurableSelective{Eng: eng}
+	d.log, d.cfg, d.seq = log, dc, rs.LastSeq
+	d.wire()
+	return d, rs, nil
 }

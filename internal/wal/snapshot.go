@@ -86,7 +86,13 @@ func WriteSnapshot(opts Options, seq uint64, g *graph.Streaming, vals []float64,
 	buf = AppendFrame(buf, KindSnapEdges, EncodeEdges(nil, g.Edges()))
 	buf = AppendFrame(buf, KindSnapState, EncodeState(nil, vals, parent))
 	buf = AppendFrame(buf, KindSnapFooter, hdr[0:8])
+	return writeSnapshotFile(opts, seq, buf)
+}
 
+// writeSnapshotFile is the shared atomic-and-durable tail of every snapshot
+// writer: temp file, write, policy-gated fsync, rename into the visible
+// name, directory sync — with the crash-injection hooks at each boundary.
+func writeSnapshotFile(opts Options, seq uint64, buf []byte) error {
 	tmp := filepath.Join(opts.Dir, SnapName(seq)+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

@@ -28,6 +28,9 @@ go test -race ./...
 echo "== crash-recovery smoke (seeded WAL crash point + oracle check) =="
 go test -race -run 'TestCrashRecoverySmoke' -count=1 ./internal/wal
 
+echo "== consistency-oracle smoke (seeded stream x engines x schedulers) =="
+go test -race -run 'TestOracleSmoke' -count=1 ./internal/oracle
+
 echo "== durable CLI smoke (WAL write, then recovery resume) =="
 waltmp=$(mktemp -d)
 go run ./cmd/graphfly -algo SSSP -dataset LJ -nEdges 1000 -numberOfUpdateBatches 2 \
@@ -99,6 +102,16 @@ trap 'rm -rf "$benchtmp"' EXIT
 go run ./cmd/bench -json -fig 11 -edgecap 4000 -batch 300 -batches 2 \
     -out "$benchtmp/BENCH_graphfly.json" > /dev/null
 go run ./scripts/benchdiff -check "$benchtmp/BENCH_graphfly.json"
+
+echo "== consistency figure smoke (Fig S6: oracle-checked triangle/k-core) =="
+go run ./cmd/bench -json -fig s6 -edgecap 4000 -batch 300 -batches 2 \
+    -out "$benchtmp/BENCH_s6.json" > "$benchtmp/s6.out"
+go run ./scripts/benchdiff -check "$benchtmp/BENCH_s6.json"
+if grep -q 'DIVERGED' "$benchtmp/s6.out"; then
+    echo "Fig S6: oracle reported a divergence" >&2
+    cat "$benchtmp/s6.out" >&2
+    exit 1
+fi
 
 echo "== alloc gate (fresh smoke vs committed BENCH_graphfly.json) =="
 go run ./scripts/benchdiff -allocgate BENCH_graphfly.json "$benchtmp/BENCH_graphfly.json"
