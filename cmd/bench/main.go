@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "table/figure id: table1, 4a, 4b, 11, 12, 13, 14a, 14b, 15a, 15b, 16, 17, s1, s2, s3, s4, s5, s6 (empty = all)")
+	fig := flag.String("fig", "", "table/figure id: table1, 4a, 4b, 11, 12, 13, 14a, 14b, 15a, 15b, 16, 17, s1, s2, s3, s4, s5, s6, s7 (empty = all; comma-separated list runs several)")
 	full := flag.Bool("full", false, "use the dataset presets instead of the quick scale")
 	ablations := flag.Bool("ablations", false, "run the ablation studies instead of the paper figures")
 	edgecap := flag.Int("edgecap", 0, "override the per-dataset edge cap")
@@ -39,6 +39,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	sched := flag.String("sched", "", "unit scheduler: worksteal (default) or global")
 	denseoff := flag.Bool("denseoff", false, "memory-discipline ablation: disable the hub adjacency index and per-batch scratch reuse (Fig S2 \"before\")")
+	hubThreshold := flag.Int("hub-threshold", 0, "override the hub-index build threshold (0 = per-figure default; drop stays threshold/4)")
+	hubReplicas := flag.Int("hub-replicas", 0, "replicas per hub under replication (0 = one per worker)")
 	faults := flag.String("faults", "", "extra fault schedule for the fault-sensitivity ablation (dist.ParseFaults syntax, e.g. seed=7,drop=0.1,crash=0.01)")
 	jsonOut := flag.Bool("json", false, "write the machine-readable report next to the text output")
 	out := flag.String("out", "BENCH_graphfly.json", "report path for -json")
@@ -75,6 +77,8 @@ func main() {
 		os.Exit(2)
 	}
 	sc.DenseOff = *denseoff
+	sc.HubThreshold = *hubThreshold
+	sc.HubReplicas = *hubReplicas
 	if *faults != "" {
 		if _, err := dist.ParseFaults(*faults); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -93,13 +97,15 @@ func main() {
 	case *fig == "":
 		tables = expr.All(sc)
 	default:
-		id := strings.ToLower(strings.TrimPrefix(*fig, "fig"))
-		run, ok := expr.ByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "bench: unknown figure %q\n", *fig)
-			os.Exit(2)
+		for _, one := range strings.Split(*fig, ",") {
+			id := strings.ToLower(strings.TrimPrefix(strings.TrimSpace(one), "fig"))
+			run, ok := expr.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bench: unknown figure %q\n", one)
+				os.Exit(2)
+			}
+			tables = append(tables, run(sc))
 		}
-		tables = []expr.Table{run(sc)}
 	}
 	for _, t := range tables {
 		fmt.Println(t)

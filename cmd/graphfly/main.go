@@ -45,6 +45,9 @@ func main() {
 	flowCap := flag.Int("flowCap", 0, "dependency-flow size cap (0 = default)")
 	sched := flag.String("sched", "", "unit scheduler: worksteal (default) or global")
 	denseoff := flag.Bool("denseoff", false, "memory-discipline ablation: disable the hub adjacency index and per-batch scratch reuse")
+	replicateHubs := flag.Bool("replicate-hubs", false, "split hub fan-in across per-worker replicas with diffused combining")
+	hubReplicas := flag.Int("hub-replicas", 0, "replicas per hub with -replicate-hubs (0 = one per worker)")
+	hubThreshold := flag.Int("hub-threshold", 0, "override the hub-index build threshold (0 = graph default 64; drop stays threshold/4)")
 	seed := flag.Uint64("seed", 42, "stream sampling seed")
 	outputFile := flag.String("outputFile", "", "write the converged values here ('-' = stdout)")
 	graphPath := flag.String("graphPath", "", "load the initial graph from an edge-tuple file instead of generating it")
@@ -162,7 +165,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphfly: unknown scheduler %q\n", *sched)
 		os.Exit(2)
 	}
-	eCfg := engine.Config{Workers: *workers, FlowCap: *flowCap, Scheduler: schedKind, DenseOff: *denseoff}
+	eCfg := engine.Config{
+		Workers: *workers, FlowCap: *flowCap, Scheduler: schedKind, DenseOff: *denseoff,
+		HubReplication: *replicateHubs, HubReplicas: *hubReplicas, HubThreshold: *hubThreshold,
+	}
+	if *replicateHubs && *denseoff {
+		fmt.Fprintln(os.Stderr, "graphfly: -replicate-hubs requires the hub index; it is disabled under -denseoff")
+		os.Exit(2)
+	}
 	var reg *metrics.Registry
 	if *showMetrics {
 		reg = metrics.NewRegistry()

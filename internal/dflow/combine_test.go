@@ -1,0 +1,98 @@
+package dflow
+
+import (
+	"testing"
+
+	"repro/internal/etree"
+)
+
+// TestScheduleWithCombines checks the replica/combine group injection: the
+// replica group lands at its home flow's level, the combine one band above,
+// specs for unimpacted flows are skipped, and ordinary groups are unchanged.
+func TestScheduleWithCombines(t *testing.T) {
+	g := chainGraph(6)
+	f := etree.NewForest(g, etree.Forward)
+	p := NewPartition(f, 2)
+	fg := NewFlowGraph(g, p)
+	impacted := []int32{p.Flow(0), p.Flow(2), p.Flow(4)}
+	base := Schedule(fg, impacted)
+
+	nf := int32(p.NumFlows())
+	specs := []CombineSpec{
+		{HomeFlow: p.Flow(2), Replicas: []int32{nf, nf + 1}, Combine: nf + 2},
+		{HomeFlow: nf - 1 + 100, Replicas: []int32{nf + 3}, Combine: nf + 4}, // not impacted
+	}
+	groups := ScheduleWithCombines(fg, impacted, specs)
+	if len(groups) != len(base)+2 {
+		t.Fatalf("got %d groups, want %d (base) + 2", len(groups), len(base))
+	}
+
+	homeLevel := -1
+	for _, gr := range base {
+		for _, fl := range gr.Flows {
+			if fl == p.Flow(2) {
+				homeLevel = gr.Level
+			}
+		}
+	}
+	if homeLevel < 0 {
+		t.Fatal("home flow missing from base schedule")
+	}
+
+	var sawReplicas, sawCombine bool
+	for _, gr := range groups {
+		switch gr.Kind {
+		case GroupReplicas:
+			sawReplicas = true
+			if gr.Level != homeLevel {
+				t.Fatalf("replica group at level %d, home at %d", gr.Level, homeLevel)
+			}
+			if len(gr.Flows) != 2 || gr.Flows[0] != nf || gr.Flows[1] != nf+1 {
+				t.Fatalf("replica flows = %v", gr.Flows)
+			}
+		case GroupCombine:
+			sawCombine = true
+			if gr.Level != homeLevel+1 {
+				t.Fatalf("combine group at level %d, want %d", gr.Level, homeLevel+1)
+			}
+			if len(gr.Flows) != 1 || gr.Flows[0] != nf+2 {
+				t.Fatalf("combine flows = %v", gr.Flows)
+			}
+			for _, fl := range gr.Flows {
+				if fl == nf+4 {
+					t.Fatal("combine for unimpacted home flow scheduled")
+				}
+			}
+		}
+	}
+	if !sawReplicas || !sawCombine {
+		t.Fatalf("replicas=%v combine=%v, want both", sawReplicas, sawCombine)
+	}
+	// The result stays level-sorted (ties by first flow id), the invariant
+	// the engines' group loop relies on.
+	for i := 1; i < len(groups); i++ {
+		a, b := groups[i-1], groups[i]
+		if a.Level > b.Level || (a.Level == b.Level && a.Flows[0] > b.Flows[0]) {
+			t.Fatalf("groups out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+// TestScheduleWithCombinesNoSpecs degenerates to Schedule exactly.
+func TestScheduleWithCombinesNoSpecs(t *testing.T) {
+	g := chainGraph(4)
+	f := etree.NewForest(g, etree.Forward)
+	p := NewPartition(f, 2)
+	fg := NewFlowGraph(g, p)
+	impacted := []int32{p.Flow(0)}
+	a := Schedule(fg, impacted)
+	b := ScheduleWithCombines(fg, impacted, nil)
+	if len(a) != len(b) {
+		t.Fatalf("len %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Level != b[i].Level || a[i].Kind != b[i].Kind {
+			t.Fatalf("group %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

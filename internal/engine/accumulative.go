@@ -64,8 +64,18 @@ type Accumulative struct {
 	impacted *dense.FlowSet // per-batch impacted flows, reused across batches
 	symm     Symmetrizer    // retained symmetrize scratch
 
-	pushes    atomic.Int64
-	crossMsgs atomic.Int64
+	// rs is the hub-replication plan (nil unless Config.HubReplication):
+	// delta pushes into a hub accumulate in per-worker partial-sum slabs
+	// drained by replica units into a combine unit, which applies the
+	// residual to the hub's aggregate exactly once per quiescence wave.
+	// See replicate.go.
+	rs      *replicaSet
+	specBuf []dflow.CombineSpec
+
+	pushes      atomic.Int64
+	crossMsgs   atomic.Int64
+	replicaMsgs atomic.Int64
+	combines    atomic.Int64
 
 	canceled bool // a batch was aborted mid-flight; state is inconsistent
 
@@ -85,6 +95,8 @@ func NewAccumulative(g *graph.Streaming, alg algo.Accumulative, cfg Config) *Acc
 	_, e.profiled = e.probe.(*cachesim.Sim)
 	if cfg.DenseOff {
 		g.DisableHubIndex()
+	} else if cfg.HubThreshold > 0 {
+		g.SetHubThresholds(cfg.HubThreshold, 0)
 	}
 	n := g.NumVertices()
 	e.outW = make([]float64, n)
@@ -101,6 +113,7 @@ func NewAccumulative(g *graph.Streaming, alg algo.Accumulative, cfg Config) *Acc
 	}
 	e.forest = etree.NewForest(g, dir)
 	e.repartition()
+	e.rs = newReplicaSetFor(cfg, g, e.part.NumFlows(), e.dim)
 
 	// Initial convergence through the engine itself: state = base,
 	// aggregates and broadcasts zero, every vertex must push.
@@ -299,6 +312,10 @@ func (e *Accumulative) processBatch(ctx context.Context, batch graph.Batch) Batc
 	tTrim := time.Now()
 	e.probe.SetPhase(cachesim.PhaseRefine)
 	nf := e.part.NumFlows()
+	if e.rs != nil {
+		e.rs.update(e.G, applied, nf)
+		st.ReplicatedHubs = len(e.rs.hubs)
+	}
 	if cap(e.seeds) < nf {
 		e.seeds = make([][]uint32, nf)
 	}
@@ -347,6 +364,8 @@ func (e *Accumulative) processBatch(ctx context.Context, batch graph.Batch) Batc
 	st.ComputeTime = time.Since(tComp)
 	st.Relaxations = e.pushes.Load()
 	st.CrossMsgs = e.crossMsgs.Load()
+	st.ReplicaMsgs = e.replicaMsgs.Load()
+	st.Combines = e.combines.Load()
 	ss := e.pl.stats()
 	st.Dispatches = ss.Dispatches
 	st.Steals = ss.Steals
@@ -365,6 +384,9 @@ func (e *Accumulative) converge(ctx context.Context, impacted []int32) (int, int
 		for _, f := range impacted {
 			groups = append(groups, dflow.Group{Flows: []int32{f}})
 		}
+	} else if e.rs != nil {
+		e.specBuf = e.rs.combineSpecs(e.part.Flow, e.specBuf)
+		groups = dflow.ScheduleWithCombines(e.fg, impacted, e.specBuf)
 	} else {
 		groups = dflow.Schedule(e.fg, impacted)
 	}
@@ -375,11 +397,17 @@ func (e *Accumulative) converge(ctx context.Context, impacted []int32) (int, int
 		}
 	}
 	nf := e.part.NumFlows()
-	e.units = e.units[:0]
-	if cap(e.unitOf) < nf {
-		e.unitOf = make([]int32, nf)
+	// Virtual replica/combine flows get unit and inbox slots past the real
+	// flow ids.
+	nfAll := nf
+	if e.rs != nil {
+		nfAll = e.rs.numFlows()
 	}
-	e.unitOf = e.unitOf[:nf]
+	e.units = e.units[:0]
+	if cap(e.unitOf) < nfAll {
+		e.unitOf = make([]int32, nfAll)
+	}
+	e.unitOf = e.unitOf[:nfAll]
 	for i := range e.unitOf {
 		e.unitOf[i] = -1
 	}
@@ -391,23 +419,33 @@ func (e *Accumulative) converge(ctx context.Context, impacted []int32) (int, int
 	for _, grp := range groups {
 		for _, f := range grp.Flows {
 			u := &unit{id: int32(len(e.units)), flows: []int32{f}, level: grp.Level}
+			if e.rs != nil {
+				u.pin = e.rs.pinFor(f, e.cfg.workers())
+			}
 			e.units = append(e.units, u)
 			e.unitOf[f] = u.id
 		}
 	}
-	if cap(e.inboxes) < nf {
-		e.inboxes = make([]inbox[[]uint32], nf)
+	if cap(e.inboxes) < nfAll {
+		e.inboxes = make([]inbox[[]uint32], nfAll)
 	}
-	e.inboxes = e.inboxes[:nf]
+	e.inboxes = e.inboxes[:nfAll]
 	for i := range e.inboxes {
 		e.inboxes[i].reset()
 	}
 	e.pl = e.cfg.newScheduler()
 	e.pushes.Store(0)
 	e.crossMsgs.Store(0)
+	e.replicaMsgs.Store(0)
+	e.combines.Store(0)
 
 	e.unitsMu.Lock()
 	for _, u := range e.units {
+		// Virtual replica/combine units are reactive: they run only when
+		// notified, so hubs with no traffic this batch cost no dispatches.
+		if e.rs != nil && int(u.flows[0]) >= e.rs.nf {
+			continue
+		}
 		e.pl.activate(u)
 	}
 	e.unitsMu.Unlock()
@@ -421,6 +459,7 @@ func (e *Accumulative) converge(ctx context.Context, impacted []int32) (int, int
 	e.pl.run(e.cfg.workers(), func(w int, u *unit) {
 		if workerPool[w] == nil {
 			workerPool[w] = e.newWorker()
+			workerPool[w].id = w
 		}
 		batchBufs[w] = workerPool[w].processUnit(u, batchBufs[w])
 	})
@@ -440,6 +479,9 @@ func (e *Accumulative) activateFlow(f int32, level int) {
 			u = e.units[ui]
 		} else {
 			u = &unit{id: int32(len(e.units)), flows: []int32{f}, level: level}
+			if e.rs != nil {
+				u.pin = e.rs.pinFor(f, e.cfg.workers())
+			}
 			e.units = append(e.units, u)
 			atomic.StoreInt32(&e.unitOf[f], u.id)
 		}
@@ -467,6 +509,9 @@ type accWorker struct {
 	// activation cover many vertices instead of paying both per edge.
 	pending map[int32][]uint32
 	level   int
+	// id is the worker's index in the pool, used to pick which replica
+	// slab this worker's hub-bound deltas accumulate into.
+	id int
 }
 
 func (e *Accumulative) newWorker() *accWorker {
@@ -505,6 +550,11 @@ const roundsPerActivation = 2
 
 func (aw *accWorker) processUnit(u *unit, batches [][]uint32) [][]uint32 {
 	e := aw.e
+	if e.rs != nil {
+		if k, rep, combine, ok := e.rs.virtual(u.flows[0]); ok {
+			return aw.processVirtual(u, k, rep, combine, batches)
+		}
+	}
 	aw.probe.SetPhase(cachesim.PhaseRecompute)
 	aw.level = u.level
 	inUnit := func(f int32) bool {
@@ -575,6 +625,16 @@ func (aw *accWorker) processUnit(u *unit, batches [][]uint32) [][]uint32 {
 // of a round) and reports whether v's contribution must be re-broadcast.
 func (aw *accWorker) recomputeVertex(v uint32) bool {
 	e := aw.e
+	if e.rs != nil {
+		// Pull-inside: a hub about to recompute folds everything its
+		// replicas hold, so its broadcast reflects all mass deposited so
+		// far — the pipeline's own drains then find empty slabs (benign).
+		if k := e.rs.slotOf(v); k >= 0 {
+			if e.rs.pullHub(int(k), func(d int, x float64) { e.agg.AddAt(v, d, x) }) {
+				e.dirty.set(v)
+			}
+		}
+	}
 	if e.dirty.get(v) {
 		e.dirty.clear(v)
 		if e.profiled {
@@ -638,6 +698,18 @@ func (aw *accWorker) pushVertex(v uint32, u *unit, inUnit func(int32) bool) {
 			aw.probe.Access(e.agg.Addr(uint32(h.To)), true, cachesim.ClassVertex)
 		}
 		w := uint32(h.To)
+		if e.rs != nil {
+			// Cross-unit hub-bound: fold the delta into this worker's
+			// replica slab instead of CAS-contending on the hub's shared
+			// aggregate; the replica/combine chain applies the residual
+			// later. Intra-unit pushes keep the direct path — they coalesce
+			// in this unit's next round anyway, and detouring them through
+			// the pipeline would fragment the hub's delta batching.
+			if k := e.rs.slotOf(w); k >= 0 && !inUnit(e.part.Flow(h.To)) {
+				aw.pushReplica(int(k), w, h.W)
+				continue
+			}
+		}
 		for d := 0; d < e.dim; d++ {
 			delta := h.W * (aw.newU[d] - aw.oldU[d])
 			if delta != 0 {
@@ -660,4 +732,62 @@ func (aw *accWorker) pushVertex(v uint32, u *unit, inUnit func(int32) bool) {
 			}
 		}
 	}
+}
+
+// pushReplica accumulates one edge's delta vector into replica slab
+// (k, worker mod R) and batches a notification to the replica's virtual
+// flow. add-then-set: the dirty mark is taken only after the partials
+// land, so the replica drain can never miss a delta.
+func (aw *accWorker) pushReplica(k int, w uint32, edgeW float64) {
+	e := aw.e
+	rs := e.rs
+	rep := aw.id % rs.r
+	any := false
+	for d := 0; d < e.dim; d++ {
+		delta := edgeW * (aw.newU[d] - aw.oldU[d])
+		if delta != 0 {
+			rs.addPartial(k, rep, d, delta)
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	e.replicaMsgs.Add(1)
+	if !rs.replicaDirtySwapSet(k, rep) {
+		rf := rs.replicaFlow(k, rep)
+		aw.pending[rf] = append(aw.pending[rf], w)
+	}
+}
+
+// processVirtual runs a replica or combine unit (hub replication). The
+// inbox payloads are pure notifications — the data rides in the atomic
+// slabs — so each activation is one drain pass: clear the dirty mark,
+// swap the slots, forward. Late arrivals re-activate through the unit
+// state machine.
+func (aw *accWorker) processVirtual(u *unit, k, rep int, combine bool, batches [][]uint32) [][]uint32 {
+	e := aw.e
+	rs := e.rs
+	if !combine {
+		batches = e.inboxes[rs.replicaFlow(k, rep)].drain(batches)
+		if rs.drainReplicaInto(k, rep) {
+			if !rs.combineDirtySwapSet(k) {
+				cf := rs.combineFlow(k)
+				e.inboxes[cf].put(nil)
+				e.activateFlow(cf, u.level+1)
+			}
+		}
+		return batches
+	}
+	h := rs.hubs[k]
+	batches = e.inboxes[rs.combineFlow(k)].drain(batches)
+	if rs.drainCombine(k, func(d int, x float64) { e.agg.AddAt(h, d, x) }) {
+		e.combines.Add(1)
+		if !e.dirty.swapSet(h) {
+			tf := e.part.Flow(h)
+			e.inboxes[tf].put([]uint32{h})
+			e.activateFlow(tf, u.level+1)
+		}
+	}
+	return batches
 }

@@ -73,6 +73,21 @@ type Config struct {
 	// internal/oracle's mutation tests to prove the harness detects
 	// stale-value violations. Never set outside tests.
 	FaultSkipTrim bool
+	// HubReplication splits the state of hub vertices (those carrying an
+	// in-adjacency index, see graph.Streaming.InHub) into per-worker
+	// replicas holding partial aggregates, merged by a diffused-combine
+	// step scheduled one level band above the replicas. Closes the
+	// single-flow serialization bottleneck on power-law graphs (Rhizomes /
+	// Diffusions direction); ablation flag, off by default. Ignored under
+	// DenseOff (no hub index means no hub signal).
+	HubReplication bool
+	// HubReplicas is the number of replicas per hub (default: the worker
+	// count, so each worker owns at most one replica of a given hub).
+	HubReplicas int
+	// HubThreshold overrides the graph's hub-index build threshold
+	// (graph.Options.HubThreshold); 0 keeps the graph's current setting.
+	// The drop floor follows at a quarter of the build threshold.
+	HubThreshold int
 }
 
 func (c Config) workers() int {
@@ -96,20 +111,35 @@ func (c Config) repartitionEvery() int {
 	return c.RepartitionEvery
 }
 
+func (c Config) hubReplicas() int {
+	if c.HubReplicas > 0 {
+		return c.HubReplicas
+	}
+	return c.workers()
+}
+
 // BatchStats reports what one ProcessBatch did.
 type BatchStats struct {
-	Applied      int // updates that took effect
-	TrimRoots    int // deletions that killed a key edge
-	Trimmed      int // vertices invalidated by trimming
-	Impacted     int // flows seeded with work
-	Units        int // scheduling units (cyclic groups merged)
-	Levels       int // depth of the space-time schedule
-	CrossMsgs    int64
-	Relaxations  int64 // edge relaxations / delta pushes
-	Pulls        int64 // refinement pulls
-	Dispatches   int64 // scheduling units handed to workers
-	Steals       int64 // dispatches served from another worker's deque
-	SchedParks   int64 // scheduler idle waits during compute
+	Applied     int // updates that took effect
+	TrimRoots   int // deletions that killed a key edge
+	Trimmed     int // vertices invalidated by trimming
+	Impacted    int // flows seeded with work
+	Units       int // scheduling units (cyclic groups merged)
+	Levels      int // depth of the space-time schedule
+	CrossMsgs   int64
+	Relaxations int64 // edge relaxations / delta pushes
+	Pulls       int64 // refinement pulls
+	Dispatches  int64 // scheduling units handed to workers
+	Steals      int64 // dispatches served from another worker's deque
+	SchedParks  int64 // scheduler idle waits during compute
+
+	// Hub replication (Config.HubReplication): hubs replicated this batch,
+	// messages routed to replicas instead of the home flow, and diffused
+	// combines that merged replica aggregates back.
+	ReplicatedHubs int
+	ReplicaMsgs    int64
+	Combines       int64
+
 	ApplyTime    time.Duration
 	MaintainTime time.Duration // D-tree + flow index maintenance (total)
 	DtreeTime    time.Duration // D-tree incremental maintenance only

@@ -37,6 +37,13 @@ type unit struct {
 	seq   int64 // FIFO tie-break within a level
 	state atomic.Int32
 
+	// pin, when non-zero, pins the unit's home shard in the work-stealing
+	// scheduler to (pin-1) mod workers instead of the id hash. Hub
+	// replication uses it to land the replicas of one hub on distinct
+	// workers' deques. 0 (the zero value) means unpinned; the global pool
+	// ignores it.
+	pin int32
+
 	// enqueuedNs is the activation timestamp feeding the dispatch-wait
 	// histogram; written and read under the owning queue's lock.
 	enqueuedNs int64

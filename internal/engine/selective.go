@@ -52,14 +52,23 @@ type Selective struct {
 	units    []*unit
 	unitOf   []int32 // flow -> unit index (atomic access)
 	inboxes  []inbox[selMsg]
-	trimList [][]uint32     // per-flow trim lists
+	trimList [][]uint32     // per-flow trim lists (real flows only)
 	impacted *dense.FlowSet // epoch-stamped impacted-flow scratch
 	symm     Symmetrizer
 	pl       scheduler
 
+	// rs is the hub-replication plan (nil unless Config.HubReplication):
+	// cross-flow messages bound for a hub scatter over per-worker replica
+	// units whose folded candidates a diffused-combine unit merges back
+	// into the hub's home flow. See replicate.go.
+	rs      *replicaSet
+	specBuf []dflow.CombineSpec
+
 	relaxations atomic.Int64
 	pulls       atomic.Int64
 	crossMsgs   atomic.Int64
+	replicaMsgs atomic.Int64
+	combines    atomic.Int64
 
 	canceled bool // a batch was aborted mid-flight; state is inconsistent
 
@@ -88,6 +97,8 @@ func NewSelective(g *graph.Streaming, alg algo.Selective, cfg Config) *Selective
 	}
 	if cfg.DenseOff {
 		g.DisableHubIndex()
+	} else if cfg.HubThreshold > 0 {
+		g.SetHubThresholds(cfg.HubThreshold, 0)
 	}
 	_, e.profiled = e.probe.(*cachesim.Sim)
 
@@ -98,6 +109,7 @@ func NewSelective(g *graph.Streaming, alg algo.Selective, cfg Config) *Selective
 	for v, x := range vals {
 		e.vals.Set(uint32(v), x)
 	}
+	e.rs = newReplicaSetFor(cfg, g, e.part.NumFlows(), 0)
 	return e
 }
 
@@ -120,6 +132,8 @@ func NewSelectiveFromState(g *graph.Streaming, alg algo.Selective, cfg Config, v
 	}
 	if cfg.DenseOff {
 		g.DisableHubIndex()
+	} else if cfg.HubThreshold > 0 {
+		g.SetHubThresholds(cfg.HubThreshold, 0)
 	}
 	_, e.profiled = e.probe.(*cachesim.Sim)
 	e.parent = append([]int32(nil), parent...)
@@ -128,6 +142,7 @@ func NewSelectiveFromState(g *graph.Streaming, alg algo.Selective, cfg Config, v
 	for v, x := range vals {
 		e.vals.Set(uint32(v), x)
 	}
+	e.rs = newReplicaSetFor(cfg, g, e.part.NumFlows(), 0)
 	return e, nil
 }
 
@@ -285,6 +300,12 @@ func (e *Selective) processBatch(ctx context.Context, batch graph.Batch) BatchSt
 	// (3) Trim identification at tree-node cost (no graph-edge traversal).
 	tTrim := time.Now()
 	nf := e.part.NumFlows()
+	if e.rs != nil {
+		e.rs.update(e.G, applied, nf)
+		st.ReplicatedHubs = len(e.rs.hubs)
+		e.replicaMsgs.Store(0)
+		e.combines.Store(0)
+	}
 	if cap(e.trimList) < nf {
 		e.trimList = make([][]uint32, nf)
 	}
@@ -322,6 +343,9 @@ func (e *Selective) processBatch(ctx context.Context, batch graph.Batch) BatchSt
 		for _, f := range impacted.Members() {
 			groups = append(groups, dflow.Group{Flows: []int32{f}})
 		}
+	} else if e.rs != nil {
+		e.specBuf = e.rs.combineSpecs(e.part.Flow, e.specBuf)
+		groups = dflow.ScheduleWithCombines(e.fg, impacted.Members(), e.specBuf)
 	} else {
 		groups = dflow.Schedule(e.fg, impacted.Members())
 	}
@@ -335,11 +359,17 @@ func (e *Selective) processBatch(ctx context.Context, batch graph.Batch) BatchSt
 	st.Levels = maxLevel + 1
 	st.Impacted = impacted.Len()
 
-	e.units = e.units[:0]
-	if cap(e.unitOf) < nf {
-		e.unitOf = make([]int32, nf)
+	// Virtual replica/combine flows get unit and inbox slots past the real
+	// flow ids.
+	nfAll := nf
+	if e.rs != nil {
+		nfAll = e.rs.numFlows()
 	}
-	e.unitOf = e.unitOf[:nf]
+	e.units = e.units[:0]
+	if cap(e.unitOf) < nfAll {
+		e.unitOf = make([]int32, nfAll)
+	}
+	e.unitOf = e.unitOf[:nfAll]
 	for i := range e.unitOf {
 		e.unitOf[i] = -1
 	}
@@ -351,14 +381,17 @@ func (e *Selective) processBatch(ctx context.Context, batch graph.Batch) BatchSt
 	for _, grp := range groups {
 		for _, f := range grp.Flows {
 			u := &unit{id: int32(len(e.units)), flows: []int32{f}, level: grp.Level}
+			if e.rs != nil {
+				u.pin = e.rs.pinFor(f, e.cfg.workers())
+			}
 			e.units = append(e.units, u)
 			e.unitOf[f] = u.id
 		}
 	}
-	if cap(e.inboxes) < nf {
-		e.inboxes = make([]inbox[selMsg], nf)
+	if cap(e.inboxes) < nfAll {
+		e.inboxes = make([]inbox[selMsg], nfAll)
 	}
-	e.inboxes = e.inboxes[:nf]
+	e.inboxes = e.inboxes[:nfAll]
 	for i := range e.inboxes {
 		e.inboxes[i].reset()
 	}
@@ -376,8 +409,18 @@ func (e *Selective) processBatch(ctx context.Context, batch graph.Batch) BatchSt
 		}
 		cand := e.Alg.Propagate(e.vals.Get(uint32(u.Src)), u.W)
 		if e.trimmed.get(uint32(u.Dst)) || e.Alg.Better(cand, e.vals.Get(uint32(u.Dst))) {
+			m := selMsg{v: uint32(u.Dst), val: cand, parent: int32(u.Src)}
+			if e.rs != nil {
+				if k := e.rs.slotOf(uint32(u.Dst)); k >= 0 {
+					rf := e.rs.replicaFlow(int(k), e.rs.routeOf(uint32(u.Src)))
+					e.inboxes[rf].put(m)
+					e.replicaMsgs.Add(1)
+					e.activateFlow(rf, maxLevel+1)
+					continue
+				}
+			}
 			f := e.part.Flow(u.Dst)
-			e.inboxes[f].put(selMsg{v: uint32(u.Dst), val: cand, parent: int32(u.Src)})
+			e.inboxes[f].put(m)
 			e.activateFlow(f, maxLevel+1)
 		}
 	}
@@ -398,6 +441,8 @@ func (e *Selective) processBatch(ctx context.Context, batch graph.Batch) BatchSt
 	st.Relaxations = e.relaxations.Load()
 	st.Pulls = e.pulls.Load()
 	st.CrossMsgs = e.crossMsgs.Load()
+	st.ReplicaMsgs = e.replicaMsgs.Load()
+	st.Combines = e.combines.Load()
 	ss := e.pl.stats()
 	st.Dispatches = ss.Dispatches
 	st.Steals = ss.Steals
@@ -428,6 +473,9 @@ func (e *Selective) activateFlow(f int32, level int) {
 			u = e.units[ui]
 		} else {
 			u = &unit{id: int32(len(e.units)), flows: []int32{f}, level: level}
+			if e.rs != nil {
+				u.pin = e.rs.pinFor(f, e.cfg.workers())
+			}
 			e.units = append(e.units, u)
 			atomic.StoreInt32(&e.unitOf[f], u.id)
 		}
@@ -441,6 +489,12 @@ func (e *Selective) activateFlow(f int32, level int) {
 func (e *Selective) runAsync() {
 	e.unitsMu.Lock()
 	for _, u := range e.units {
+		// Virtual replica/combine units are reactive: they run only when a
+		// hub-bound message lands, so the common no-traffic batch pays no
+		// dispatches for them.
+		if e.rs != nil && int(u.flows[0]) >= e.rs.nf {
+			continue
+		}
 		e.pl.activate(u)
 	}
 	e.unitsMu.Unlock()
@@ -514,6 +568,12 @@ func (sw *selWorker) writeVal(v uint32, x float64) {
 // (push style between flows — §V-A's pull-inside/push-outside rule).
 func (sw *selWorker) processUnit(u *unit, refine, recompute bool) {
 	e := sw.e
+	if e.rs != nil {
+		if k, rep, combine, ok := e.rs.virtual(u.flows[0]); ok {
+			sw.processVirtual(u, k, rep, combine)
+			return
+		}
+	}
 	inUnit := func(f int32) bool {
 		return atomic.LoadInt32(&e.unitOf[f]) == u.id
 	}
@@ -633,13 +693,73 @@ func (sw *selWorker) relax(v uint32, u *unit, inUnit func(int32) bool) {
 		}
 		// Cross-flow: send only when it could matter.
 		if e.trimmed.get(w) || e.Alg.Better(cand, sw.readVal(w)) {
-			e.inboxes[tf].put(selMsg{v: w, val: cand, parent: int32(v)})
+			m := selMsg{v: w, val: cand, parent: int32(v)}
+			if e.rs != nil {
+				// Hub-bound: scatter onto a replica instead of the home
+				// flow, so the fan-in folds across workers.
+				if k := e.rs.slotOf(w); k >= 0 {
+					rf := e.rs.replicaFlow(int(k), e.rs.routeOf(v))
+					e.inboxes[rf].put(m)
+					e.crossMsgs.Add(1)
+					e.replicaMsgs.Add(1)
+					e.activateFlow(rf, u.level+1)
+					continue
+				}
+			}
+			e.inboxes[tf].put(m)
 			e.crossMsgs.Add(1)
 			if e.trace != nil {
 				sw.addTraceMsg(e.part.Flow(v), tf)
 			}
 			e.activateFlow(tf, u.level+1)
 		}
+	}
+}
+
+// processVirtual runs a replica or combine unit (hub replication). A
+// replica folds its inbox to the single best candidate for its hub — the
+// in-network min/max reduction — and forwards it to the combine; the
+// combine folds the replicas' candidates and forwards at most one message
+// into the hub's home flow, which stays the hub's only writer. Dropping
+// non-best candidates is exact for selection-based algorithms: a dropped
+// candidate is dominated by the forwarded one, and the trimmed-bit check
+// keeps refinement-triggering messages flowing even when no candidate
+// improves the (possibly about-to-be-reset) current value.
+func (sw *selWorker) processVirtual(u *unit, k, rep int, combine bool) {
+	e := sw.e
+	rs := e.rs
+	if !combine {
+		sw.buf = e.inboxes[rs.replicaFlow(k, rep)].drain(sw.buf)
+		if len(sw.buf) == 0 {
+			return
+		}
+		best := sw.buf[0]
+		for _, m := range sw.buf[1:] {
+			if e.Alg.Better(m.val, best.val) {
+				best = m
+			}
+		}
+		cf := rs.combineFlow(k)
+		e.inboxes[cf].put(best)
+		e.activateFlow(cf, u.level+1)
+		return
+	}
+	sw.buf = e.inboxes[rs.combineFlow(k)].drain(sw.buf)
+	if len(sw.buf) == 0 {
+		return
+	}
+	best := sw.buf[0]
+	for _, m := range sw.buf[1:] {
+		if e.Alg.Better(m.val, best.val) {
+			best = m
+		}
+	}
+	e.combines.Add(1)
+	h := rs.hubs[k]
+	if e.trimmed.get(h) || e.Alg.Better(best.val, e.vals.Get(h)) {
+		tf := e.part.Flow(h)
+		e.inboxes[tf].put(best)
+		e.activateFlow(tf, u.level+1)
 	}
 }
 

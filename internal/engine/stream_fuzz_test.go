@@ -65,6 +65,17 @@ func fuzzShapes() []fuzzShape {
 		// alternate arbitrarily. Safe to reorder: BuildWorkload never
 		// adds and deletes the same vertex pair within one batch, and the
 		// same shuffled batch feeds both the engine and the oracle.
+		// Hub-skewed: Barabási–Albert growth concentrates in-degree on a
+		// few hubs, the topology that stresses the hub adjacency index and
+		// (when enabled) hub replication. Replication-on coverage of the
+		// same workloads lives in replicate_test.go and the oracle fuzzer.
+		{"hub-skew", func(seed uint64) gen.Workload {
+			return fuzzBA(seed, gen.StreamConfig{
+				InitialFraction: 0.6,
+				DeleteRatio:     0.4,
+				NumBatches:      3,
+			})
+		}},
 		{"interleaved", func(seed uint64) gen.Workload {
 			w := fuzzRMAT(seed, gen.StreamConfig{
 				InitialFraction: 0.5,

@@ -119,8 +119,13 @@ func newWSPool(workers int, waitHist *metrics.Histogram) *wsPool {
 
 // homeShard hashes a unit to its owning shard, spreading flows evenly so
 // external activations (the manager seeding a batch, cross-flow messages)
-// distribute load without knowing which goroutine sent them.
+// distribute load without knowing which goroutine sent them. Pinned units
+// (hub replicas and their combines) bypass the hash so replicas of one hub
+// land on distinct workers' deques.
 func (p *wsPool) homeShard(u *unit) *wsShard {
+	if u.pin != 0 {
+		return &p.shards[uint64(u.pin-1)%uint64(len(p.shards))]
+	}
 	return &p.shards[rng.Mix64(uint64(uint32(u.id)))%uint64(len(p.shards))]
 }
 

@@ -48,6 +48,13 @@ type Scale struct {
 	// (engine.Config.DenseOff): no hub adjacency index and per-batch
 	// scratch allocated fresh — the Fig S2 "before" configuration.
 	DenseOff bool `json:"dense_off,omitempty"`
+	// HubThreshold overrides the graph's hub-index build threshold for the
+	// figures that sweep hub behaviour (0 = graph default). Fig S7 uses it
+	// to pick the replication cutoff at capped scales.
+	HubThreshold int `json:"hub_threshold,omitempty"`
+	// HubReplicas is the per-hub replica count under replication
+	// (0 = one per worker, engine.Config.HubReplicas semantics).
+	HubReplicas int `json:"hub_replicas,omitempty"`
 }
 
 // registry returns the recorder's backing registry (nil when metrics are

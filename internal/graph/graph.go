@@ -75,6 +75,37 @@ const HubThreshold = 64
 // the degree shrinks to a quarter of the build threshold.
 const hubDropThreshold = HubThreshold / 4
 
+// Options tunes a streaming graph at construction time. The zero value
+// selects the package defaults (HubThreshold build, HubThreshold/4 drop).
+type Options struct {
+	// HubThreshold is the degree at which an adjacency list gains its
+	// neighbour->position index. 0 means the package default (64).
+	HubThreshold int
+	// HubDropThreshold is the hysteresis floor below which the index is
+	// discarded again. 0 means HubThreshold/4. Values >= HubThreshold are
+	// clamped to HubThreshold-1 so the hysteresis band never inverts.
+	HubDropThreshold int
+}
+
+// normalize resolves zero values to defaults and keeps drop < build.
+func (o Options) normalize() (build, drop int) {
+	build = o.HubThreshold
+	if build <= 0 {
+		build = HubThreshold
+	}
+	drop = o.HubDropThreshold
+	if drop <= 0 {
+		drop = build / 4
+		if drop < 1 {
+			drop = 1
+		}
+	}
+	if drop >= build {
+		drop = build - 1
+	}
+	return build, drop
+}
+
 // Streaming is a mutable directed graph with both out- and in-adjacency,
 // supporting O(1) amortized edge addition, deletion, and lookup: adjacency
 // lists of high-degree (hub) vertices carry an incrementally maintained
@@ -93,15 +124,29 @@ type Streaming struct {
 	inIdx  []map[VertexID]int32
 	m      int
 	noIdx  bool // hub indexing disabled (-denseoff ablation, equivalence tests)
+	// hubBuild/hubDrop are this graph's hysteresis band (Options; defaults
+	// HubThreshold and HubThreshold/4).
+	hubBuild int
+	hubDrop  int
 }
 
-// NewStreaming returns an empty streaming graph with n vertices.
+// NewStreaming returns an empty streaming graph with n vertices and the
+// default hub-index thresholds.
 func NewStreaming(n int) *Streaming {
+	return NewStreamingOpts(n, Options{})
+}
+
+// NewStreamingOpts returns an empty streaming graph with n vertices and the
+// given tuning options.
+func NewStreamingOpts(n int, o Options) *Streaming {
+	build, drop := o.normalize()
 	return &Streaming{
-		out:    make([][]Half, n),
-		in:     make([][]Half, n),
-		outIdx: make([]map[VertexID]int32, n),
-		inIdx:  make([]map[VertexID]int32, n),
+		out:      make([][]Half, n),
+		in:       make([][]Half, n),
+		outIdx:   make([]map[VertexID]int32, n),
+		inIdx:    make([]map[VertexID]int32, n),
+		hubBuild: build,
+		hubDrop:  drop,
 	}
 }
 
@@ -120,12 +165,54 @@ func (g *Streaming) DisableHubIndex() {
 // FromEdges builds a streaming graph with n vertices from an edge list.
 // Duplicate (src,dst) pairs are dropped (first wins) so the graph is simple.
 func FromEdges(n int, edges []Edge) *Streaming {
-	g := NewStreaming(n)
+	return FromEdgesOpts(n, edges, Options{})
+}
+
+// FromEdgesOpts is FromEdges with explicit tuning options.
+func FromEdgesOpts(n int, edges []Edge, o Options) *Streaming {
+	g := NewStreamingOpts(n, o)
 	for _, e := range edges {
 		g.AddEdge(e)
 	}
 	return g
 }
+
+// HubThresholds returns the graph's current hysteresis band.
+func (g *Streaming) HubThresholds() (build, drop int) { return g.hubBuild, g.hubDrop }
+
+// SetHubThresholds retunes the hysteresis band on a live graph: indexes are
+// built for every list at or above the new build threshold and dropped for
+// every list below the new drop floor (lists in between keep whatever they
+// had — hysteresis). drop <= 0 means build/4. A no-op when hub indexing is
+// disabled. Not safe concurrently with mutation.
+func (g *Streaming) SetHubThresholds(build, drop int) {
+	b, d := Options{HubThreshold: build, HubDropThreshold: drop}.normalize()
+	g.hubBuild, g.hubDrop = b, d
+	if g.noIdx {
+		return
+	}
+	retune := func(lists [][]Half, idxs []map[VertexID]int32) {
+		for v, l := range lists {
+			switch {
+			case idxs[v] == nil && len(l) >= b:
+				idx := make(map[VertexID]int32, 2*len(l))
+				for i, e := range l {
+					idx[e.To] = int32(i)
+				}
+				idxs[v] = idx
+			case idxs[v] != nil && len(l) < d:
+				idxs[v] = nil
+			}
+		}
+	}
+	retune(g.out, g.outIdx)
+	retune(g.in, g.inIdx)
+}
+
+// InHub reports whether v currently carries an in-adjacency hub index —
+// the signal the engines use to decide which vertices to replicate. Always
+// false when hub indexing is disabled (-denseoff).
+func (g *Streaming) InHub(v VertexID) bool { return g.inIdx[v] != nil }
 
 // NumVertices returns N.
 func (g *Streaming) NumVertices() int { return len(g.out) }
@@ -171,7 +258,7 @@ func (g *Streaming) appendHalf(lists [][]Half, idxs []map[VertexID]int32, u Vert
 	l := lists[u]
 	if idx := idxs[u]; idx != nil {
 		idx[h.To] = int32(len(l) - 1)
-	} else if !g.noIdx && len(l) >= HubThreshold {
+	} else if !g.noIdx && len(l) >= g.hubBuild {
 		idx = make(map[VertexID]int32, 2*len(l))
 		for i, e := range l {
 			idx[e.To] = int32(i)
@@ -199,7 +286,7 @@ func (g *Streaming) removeHalfIdx(lists [][]Half, idxs []map[VertexID]int32, u, 
 		if int(p) != last {
 			idx[moved.To] = p
 		}
-		if last < hubDropThreshold {
+		if last < g.hubDrop {
 			idxs[u] = nil
 		}
 	}
@@ -264,12 +351,14 @@ func (g *Streaming) ApplyBatch(b Batch) Batch {
 // incremental engines against static recomputation on identical topologies.
 func (g *Streaming) Clone() *Streaming {
 	c := &Streaming{
-		out:    make([][]Half, len(g.out)),
-		in:     make([][]Half, len(g.in)),
-		outIdx: make([]map[VertexID]int32, len(g.out)),
-		inIdx:  make([]map[VertexID]int32, len(g.in)),
-		m:      g.m,
-		noIdx:  g.noIdx,
+		out:      make([][]Half, len(g.out)),
+		in:       make([][]Half, len(g.in)),
+		outIdx:   make([]map[VertexID]int32, len(g.out)),
+		inIdx:    make([]map[VertexID]int32, len(g.in)),
+		m:        g.m,
+		noIdx:    g.noIdx,
+		hubBuild: g.hubBuild,
+		hubDrop:  g.hubDrop,
 	}
 	for i, l := range g.out {
 		c.out[i] = append([]Half(nil), l...)

@@ -145,12 +145,19 @@ func load(path string) (expr.Report, error) {
 	return r, r.Validate()
 }
 
+// identityCols are numeric columns that configure a row rather than
+// measure it; they join the label cells in rowKey so sweeps over worker
+// or node counts (Figs S1, S4, S7, 16) don't collapse into one key.
+var identityCols = map[string]bool{"Workers": true, "Nodes": true, "Batches": true}
+
 // rowKey concatenates a row's label cells — the columns with no numeric
-// value — which identify the row (dataset, algorithm, mode...).
-func rowKey(row []expr.Cell) string {
+// value, plus the numeric identity columns — which identify the row
+// (dataset, algorithm, mode, worker count...).
+func rowKey(header []string, row []expr.Cell) string {
 	var parts []string
-	for _, c := range row {
-		if _, numeric := c.Numeric(); !numeric {
+	for j, c := range row {
+		_, numeric := c.Numeric()
+		if !numeric || (j < len(header) && identityCols[header[j]]) {
 			parts = append(parts, c.Text)
 		}
 	}
@@ -161,10 +168,10 @@ func diffFigure(of, nf expr.Table) {
 	fmt.Printf("== %s: %s ==\n", of.ID, of.Title)
 	newRows := make(map[string][]expr.Cell, len(nf.Cells))
 	for _, r := range nf.Cells {
-		newRows[rowKey(r)] = r
+		newRows[rowKey(nf.Header, r)] = r
 	}
 	for _, or := range of.Cells {
-		key := rowKey(or)
+		key := rowKey(of.Header, or)
 		nr, ok := newRows[key]
 		if !ok {
 			fmt.Printf("  %-30s  (row missing from new report)\n", key)
@@ -183,6 +190,9 @@ func diffFigure(of, nf expr.Table) {
 			name := ""
 			if j < len(of.Header) {
 				name = of.Header[j]
+			}
+			if identityCols[name] {
+				continue // already part of the row key
 			}
 			cols = append(cols, fmt.Sprintf("%s %s -> %s (%s)",
 				name, oc.Text, nr[j].Text, relDelta(ov, nv)))

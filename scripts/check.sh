@@ -31,6 +31,9 @@ go test -race -run 'TestCrashRecoverySmoke' -count=1 ./internal/wal
 echo "== consistency-oracle smoke (seeded stream x engines x schedulers) =="
 go test -race -run 'TestOracleSmoke' -count=1 ./internal/oracle
 
+echo "== hub-replication fuzz smoke (BA skew, replication on/off x schedulers) =="
+go test -race -run 'TestFuzzHubSkewReplication' -count=1 ./internal/oracle
+
 echo "== durable CLI smoke (WAL write, then recovery resume) =="
 waltmp=$(mktemp -d)
 go run ./cmd/graphfly -algo SSSP -dataset LJ -nEdges 1000 -numberOfUpdateBatches 2 \
@@ -99,8 +102,10 @@ trap - EXIT
 echo "== bench smoke (machine-readable report + schema validation) =="
 benchtmp=$(mktemp -d)
 trap 'rm -rf "$benchtmp"' EXIT
-go run ./cmd/bench -json -fig 11 -edgecap 4000 -batch 300 -batches 2 \
-    -out "$benchtmp/BENCH_graphfly.json" > /dev/null
+# Figure set and scale must match the committed BENCH_graphfly.json so the
+# alloc gate below compares like with like.
+go run ./cmd/bench -json -fig 11,s7 -edgecap 8000 -batch 500 -batches 2 \
+    -out "$benchtmp/BENCH_graphfly.json" > "$benchtmp/bench.out"
 go run ./scripts/benchdiff -check "$benchtmp/BENCH_graphfly.json"
 
 echo "== consistency figure smoke (Fig S6: oracle-checked triangle/k-core) =="
@@ -110,6 +115,20 @@ go run ./scripts/benchdiff -check "$benchtmp/BENCH_s6.json"
 if grep -q 'DIVERGED' "$benchtmp/s6.out"; then
     echo "Fig S6: oracle reported a divergence" >&2
     cat "$benchtmp/s6.out" >&2
+    exit 1
+fi
+
+echo "== hub-replication figure smoke (Fig S7: replica counters engage on BA) =="
+# The BA rows must actually replicate (hubs and routed replica messages
+# both nonzero) while the uniform control must stay hub-free.
+if ! awk '$1 == "BA" && $(NF-2) > 0 && $(NF-1) > 0 { found = 1 } END { exit !found }' "$benchtmp/bench.out"; then
+    echo "Fig S7: no BA row reports replicated hubs with replica traffic" >&2
+    cat "$benchtmp/bench.out" >&2
+    exit 1
+fi
+if awk '$1 == "ER-uniform" && $(NF-2) > 0 { exit 1 }' "$benchtmp/bench.out"; then :; else
+    echo "Fig S7: uniform control unexpectedly replicated hubs" >&2
+    cat "$benchtmp/bench.out" >&2
     exit 1
 fi
 
