@@ -61,6 +61,8 @@ func main() {
 	walDir := flag.String("waldir", "", "directory for WAL segments and snapshots (required, server)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: interval | always | off")
 	snapEvery := flag.Int("snapshot-every", 16, "batches between snapshot checkpoints (0 = only at start/shutdown)")
+	dedupWindow := flag.Int("dedup-window", 64, "per-client idempotency window: resends of the last N acked batches per client identity dedup instead of re-applying (0 = default)")
+	diskFault := flag.String("diskfault", "", "inject WAL disk faults (testing), e.g. 'after=3,count=1,err=enospc' — the daemon degrades to read-only and recovers when appends succeed")
 	groupWindow := flag.Duration("group-window", 500*time.Microsecond,
 		"fsync=always commit window: how long a sync leader yields for concurrent appends to share its fsync (0 = off; lone writers never wait)")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap")
@@ -71,6 +73,7 @@ func main() {
 	deltas := flag.Int("deltas", 1, "delta pushes to print before exiting in -client watch")
 	outFile := flag.String("o", "-", "output file for -client dump ('-' = stdout)")
 	timeout := flag.Duration("timeout", 10*time.Second, "client dial/reply timeout")
+	clientID := flag.String("client-id", "", "stable client identity for exactly-once resume: transport errors redial and resend the in-flight batch under its original sequence; the server dedups against its -dedup-window")
 	flag.Parse()
 
 	if *client != "" {
@@ -78,12 +81,13 @@ func main() {
 			algo: *algoName, dataset: *datasetCode, nEdges: *nEdges,
 			batches: *batches, deletions: *deletions, seed: *seed,
 			firstBatch: *firstBatch, v: graph.VertexID(*vtx), k: *topk,
-			deltas: *deltas, out: *outFile, timeout: *timeout,
+			deltas: *deltas, out: *outFile, timeout: *timeout, clientID: *clientID,
 		})
 		return
 	}
 	runServer(*addr, *algoName, graph.VertexID(*source), *datasetCode, *nEdges, *deletions, *seed,
-		*workers, *flowCap, *sched, *walDir, *fsync, *snapEvery, *groupWindow, *maxSessions, *maxPending, *showMetrics)
+		*workers, *flowCap, *sched, *walDir, *fsync, *snapEvery, *dedupWindow, *diskFault,
+		*groupWindow, *maxSessions, *maxPending, *showMetrics)
 }
 
 func parseAlg(name string, src graph.VertexID) (algo.Selective, bool) {
@@ -141,8 +145,8 @@ func buildWorkload(dataset string, batchSize, numBatches int, deletions float64,
 }
 
 func runServer(addr, algoName string, src graph.VertexID, dataset string, nEdges int, deletions float64, seed uint64,
-	workers, flowCap int, sched, walDir, fsync string, snapEvery int, groupWindow time.Duration,
-	maxSessions, maxPending int, showMetrics bool) {
+	workers, flowCap int, sched, walDir, fsync string, snapEvery, dedupWindow int, diskFault string,
+	groupWindow time.Duration, maxSessions, maxPending int, showMetrics bool) {
 	alg, selOK := parseAlg(algoName, src)
 	lalg, locOK := parseLocalAlg(algoName)
 	if !selOK && !locOK {
@@ -162,11 +166,20 @@ func runServer(addr, algoName string, src graph.VertexID, dataset string, nEdges
 	if !ok {
 		fatalf("unknown scheduler %q", sched)
 	}
+	var faults *wal.DiskFaultInjector
+	if diskFault != "" {
+		inj, err := wal.ParseDiskFaultSpec(diskFault)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		faults = inj
+	}
 	reg := metrics.NewRegistry()
 	eCfg := engine.Config{Workers: workers, FlowCap: flowCap, Scheduler: schedKind}
 	dc := wal.DurableConfig{
-		Wal:           wal.Options{Dir: walDir, Policy: policy, Metrics: reg, GroupWindow: groupWindow},
+		Wal:           wal.Options{Dir: walDir, Policy: policy, Metrics: reg, GroupWindow: groupWindow, DiskFaults: faults},
 		SnapshotEvery: snapEvery,
+		DedupWindow:   dedupWindow,
 	}
 
 	freshGraph := func(symmetric bool) *graph.Streaming {
@@ -252,6 +265,7 @@ type clientOpts struct {
 	deltas        int
 	out           string
 	timeout       time.Duration
+	clientID      string
 }
 
 func runClient(op, addr string, o clientOpts) {
@@ -259,7 +273,17 @@ func runClient(op, addr string, o clientOpts) {
 	if op == "ingest" {
 		role = serve.RoleIngest
 	}
-	c, err := serve.Dial(addr, role, o.timeout)
+	// With -client-id, the session survives connection loss: transport errors
+	// redial and resend the in-flight batch under its original idempotency
+	// key, and the server's dedup window turns a resend of an already-logged
+	// batch into an ack instead of a second apply.
+	c, err := serve.DialOpts(addr, serve.ClientOptions{
+		Role:        role,
+		ClientID:    o.clientID,
+		DialTimeout: o.timeout,
+		OpTimeout:   o.timeout,
+		Seed:        o.seed,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}

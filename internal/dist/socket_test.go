@@ -11,12 +11,14 @@ import (
 	"math"
 	"math/rand"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
 	"repro/internal/algo"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/netfault"
 )
 
 // fastCoordConfig returns timers tight enough that death detection and
@@ -360,4 +362,128 @@ func TestSocketChaosSeeded(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestSocketMembershipChurnSweep is the seeded membership-churn loop for the
+// multi-process runtime: between batches the scenario gracefully retires
+// members, crashes them outright, restarts crashed ids onto their old WAL
+// directories, and admits brand-new members under fresh ids — with at least
+// one worker always live — and every batch must still match the
+// single-machine oracle bit-exactly.
+func TestSocketMembershipChurnSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("membership churn sweep is slow under -short")
+	}
+	for _, seed := range []int64{11, 12, 13} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			w := clusterWorkload(uint64(140+seed), 8)
+			h := newSocketHarness(t, algo.SSSP{Src: 0}, w, 2)
+			defer h.close()
+			live := map[int]bool{0: true, 1: true}
+			var crashed []int // dead ids whose WAL dirs await a restart
+			nextID := 2
+			pick := func() int {
+				ids := make([]int, 0, len(live))
+				for id := range live {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				return ids[rng.Intn(len(ids))]
+			}
+			admit := func(id int) {
+				h.startWorker(id)
+				live[id] = true
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := h.coord.WaitForWorkers(ctx, len(live)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stops, crashes, joins, restarts := 0, 0, 0, 0
+			for bi, b := range w.Batches {
+				if bi > 0 {
+					switch action := rng.Intn(4); {
+					case action == 0 && len(live) > 1: // graceful leave (bye + final checkpoint)
+						id := pick()
+						h.workers[id].stop(t)
+						delete(h.workers, id) // already reaped
+						delete(live, id)
+						stops++
+					case action == 1 && len(live) > 1: // kill -9; detection happens mid-batch
+						id := pick()
+						tw := h.workers[id]
+						close(tw.hardStop)
+						select {
+						case <-tw.done:
+						case <-time.After(5 * time.Second):
+							t.Fatalf("worker %d did not die", id)
+						}
+						tw.cancel()
+						delete(h.workers, id)
+						delete(live, id)
+						crashed = append(crashed, id)
+						crashes++
+					case action == 2: // brand-new member under a fresh id
+						admit(nextID)
+						nextID++
+						joins++
+					case action == 3 && len(crashed) > 0: // restart a crashed id onto its WAL
+						id := crashed[len(crashed)-1]
+						crashed = crashed[:len(crashed)-1]
+						admit(id)
+						restarts++
+					}
+				}
+				h.runBatch(bi, b)
+			}
+			if got := h.coord.LiveWorkers(); got != len(live) {
+				t.Fatalf("final membership: coordinator sees %d live, want %d", got, len(live))
+			}
+			t.Logf("churn seed %d: %d graceful leaves, %d crashes, %d fresh joins, %d restarts, %d final members",
+				seed, stops, crashes, joins, restarts, len(live))
+			if stops+crashes+joins+restarts == 0 {
+				t.Fatal("sweep exercised no membership churn")
+			}
+		})
+	}
+}
+
+// TestSocketWorkerThroughFaultProxy parks a netfault proxy between the
+// coordinator and one worker's dial address — no dist code changes, the
+// worker just dials the proxy — and oracle-checks every batch with seeded
+// delays jittering the link. The mix is delay-only (delays never spend the
+// fault budget, so they inject for the whole run) and MaxDelay stays far
+// under PeerTimeout so the link-layer never declares the worker dead: the
+// test pins down that a slow, jittery network path reorders nothing the
+// seq/ack layer can't absorb.
+func TestSocketWorkerThroughFaultProxy(t *testing.T) {
+	w := clusterWorkload(171, 6)
+	h := newSocketHarness(t, algo.SSSP{Src: 0}, w, 1)
+	p := netfault.NewProxy(h.coord.Addr(), netfault.Config{
+		Seed: 171, DelayProb: 0.35, MaxDelay: 5 * time.Millisecond,
+	})
+	paddr, err := p.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	defer h.close()
+	h.workers[1] = startTestWorker(paddr.String(), h.workerDir(1), 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := h.coord.WaitForWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range w.Batches {
+		h.runBatch(bi, b)
+	}
+	if got := h.coord.LiveWorkers(); got != 2 {
+		t.Fatalf("proxied worker was declared dead: %d live workers, want 2", got)
+	}
+	if p.In.Delays() == 0 {
+		t.Fatal("proxy injected no delays; the fault path was not exercised")
+	}
+	t.Logf("proxied link: %d injected delays across %d batches", p.In.Delays(), len(w.Batches))
 }

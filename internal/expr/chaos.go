@@ -1,0 +1,241 @@
+package expr
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/netfault"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// FigS8 is this reproduction's serving-chaos figure (no paper counterpart;
+// the paper's engine never faces a network): availability of a real
+// graphflyd ingest path behind a fault-injecting proxy while the scenario
+// resets connections, tears writes, poisons the log with injected EIO, and
+// kills the daemon outright — with the client's exactly-once resume machinery
+// on versus off. Resume on should hold availability at 100%: every fault is
+// absorbed by redial + same-idempotency-key resend (dup acks show the dedup
+// window at work). Resume off surfaces the faults to the application: a
+// batch whose connection died cannot be safely resent without an idempotency
+// key, so it is lost and availability drops. scripts/check.sh runs the
+// equivalent smoke out of process; EXPERIMENTS.md records measured rows.
+func FigS8(sc Scale) Table {
+	t := Table{
+		ID:    "Fig S8",
+		Title: "Serving availability under chaos (graphflyd via faultproxy, SSSP/LJ, fsync=always)",
+		Header: []string{"Faults", "Resume", "Scenarios", "Batches", "Acked",
+			"Avail %", "Redials", "Dup acks", "Disk faults", "Kills", "Total ms"},
+	}
+	// Chaos needs room for fault windows between batches; the quick scale's
+	// three batches would leave most scenarios fault-free.
+	if sc.Batches < 8 {
+		sc.Batches = 8
+	}
+	baseNet := func(seed uint64) netfault.Config {
+		return netfault.Config{
+			Seed:        seed,
+			ResetProb:   0.04,
+			PartialProb: 0.03,
+			DelayProb:   0.10,
+			MaxDelay:    time.Millisecond,
+			MaxFaults:   6,
+		}
+	}
+	profiles := []chaosProfile{
+		{name: "none"},
+		{name: "net", net: baseNet},
+		{name: "net+disk", net: baseNet, disk: true},
+		{name: "net+disk+kill", net: baseNet, disk: true, kill: true},
+	}
+	const scenarios = 4
+	for _, p := range profiles {
+		for _, resume := range []bool{true, false} {
+			mode := "off"
+			if resume {
+				mode = "on"
+			}
+			r, ok := runChaosRow(sc, p, resume, scenarios)
+			if !ok {
+				t.AddRow(Str(p.name), Str(mode), IntCell(scenarios), NA(), NA(),
+					NA(), NA(), NA(), NA(), NA(), NA())
+				continue
+			}
+			if shared := sc.registry(); shared != nil {
+				prefix := fmt.Sprintf("s8.%s.resume_%s.", p.name, mode)
+				shared.Counter(prefix + "acked").Add(int64(r.acked))
+				shared.Counter(prefix + "redials").Add(int64(r.redials))
+				shared.Counter(prefix + "dup_acks").Add(int64(r.dupAcks))
+			}
+			t.AddRow(Str(p.name), Str(mode), IntCell(scenarios), IntCell(r.batches),
+				IntCell(r.acked), Float(100*float64(r.acked)/float64(r.batches), 1),
+				IntCell(r.redials), IntCell(r.dupAcks), IntCell(int(r.diskFired)),
+				IntCell(r.kills), Dur(r.elapsed))
+		}
+	}
+	return t
+}
+
+// chaosProfile is one fault mix: an optional seeded network profile for the
+// proxy, plus scripted disk-fault and daemon-kill windows.
+type chaosProfile struct {
+	name string
+	net  func(seed uint64) netfault.Config // nil = no network faults
+	disk bool
+	kill bool
+}
+
+type chaosRow struct {
+	batches, acked   int
+	redials, dupAcks int
+	kills            int
+	diskFired        int64
+	elapsed          time.Duration
+}
+
+func runChaosRow(sc Scale, p chaosProfile, resume bool, scenarios int) (chaosRow, bool) {
+	var row chaosRow
+	t0 := time.Now()
+	for seed := uint64(1); seed <= uint64(scenarios); seed++ {
+		// Insert-only stream: a resume-off client loses batches, and a later
+		// deletion must not depend on an addition the application dropped.
+		w := workload("LJ", sc, 0, 0xc4a05+seed)
+		s, ok := runChaosScenario(sc, p, resume, seed, w)
+		if !ok {
+			return row, false
+		}
+		row.batches += s.batches
+		row.acked += s.acked
+		row.redials += s.redials
+		row.dupAcks += s.dupAcks
+		row.kills += s.kills
+		row.diskFired += s.diskFired
+	}
+	row.elapsed = time.Since(t0)
+	return row, true
+}
+
+func runChaosScenario(sc Scale, p chaosProfile, resume bool, seed uint64, w gen.Workload) (chaosRow, bool) {
+	var row chaosRow
+	alg := algo.SSSP{Src: 0}
+	ecfg := engine.Config{Workers: sc.Workers, Scheduler: sc.Scheduler, DenseOff: sc.DenseOff}
+	dir, err := os.MkdirTemp("", "graphfly-s8-")
+	if err != nil {
+		return row, false
+	}
+	defer os.RemoveAll(dir)
+	inj := wal.NewDiskFaultInjector(syscall.EIO, 0, 0) // disarmed until scripted
+	dc := wal.DurableConfig{DedupWindow: 16, Wal: wal.Options{
+		Dir: dir, Policy: wal.FsyncAlways, DiskFaults: inj,
+		GroupWindow: 500 * time.Microsecond,
+	}}
+	d, err := wal.NewDurableSelective(buildGraph(w, alg.Symmetric()), alg, ecfg, dc)
+	if err != nil {
+		return row, false
+	}
+	srv, err := serve.New(serve.Config{Addr: "127.0.0.1:0", Durable: d, Alg: alg})
+	if err != nil {
+		d.Close()
+		return row, false
+	}
+	addr := srv.Addr()
+	netCfg := netfault.Config{}
+	if p.net != nil {
+		netCfg = p.net(seed)
+	}
+	proxy := netfault.NewProxy(addr, netCfg)
+	paddr, err := proxy.Start("127.0.0.1:0")
+	if err != nil {
+		srv.Abort()
+		return row, false
+	}
+	defer proxy.Close()
+	defer func() { srv.Abort() }()
+
+	opts := serve.ClientOptions{
+		Seed:        seed,
+		DialTimeout: 2 * time.Second,
+		OpTimeout:   2 * time.Second,
+		RetryBudget: 500,
+		BackoffBase: 200 * time.Microsecond,
+		BackoffMax:  5 * time.Millisecond,
+	}
+	if resume {
+		opts.ClientID = fmt.Sprintf("s8-%d", seed)
+	}
+	dial := func() (*serve.Client, bool) {
+		for attempt := 0; attempt < 200; attempt++ {
+			c, err := serve.DialOpts(paddr.String(), opts)
+			if err == nil {
+				return c, true
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil, false
+	}
+	cl, ok := dial()
+	if !ok {
+		return row, false
+	}
+	defer func() { cl.Close() }()
+
+	diskAt, killAt := len(w.Batches)/3, 2*len(w.Batches)/3
+	row.batches = len(w.Batches)
+	for i, b := range w.Batches {
+		if p.disk && i == diskAt {
+			inj.Set(syscall.EIO, 0, 1)
+		}
+		if p.kill && i == killAt {
+			srv.Abort()
+			row.kills++
+			inj.Clear()
+			d2, _, err := wal.RecoverSelective(alg, ecfg, dc)
+			if err != nil {
+				return row, false
+			}
+			var srv2 *serve.Server
+			for attempt := 0; ; attempt++ {
+				srv2, err = serve.New(serve.Config{Addr: addr, Durable: d2, Alg: alg})
+				if err == nil {
+					break
+				}
+				if attempt > 200 {
+					return row, false
+				}
+				time.Sleep(time.Millisecond)
+			}
+			d, srv = d2, srv2
+		}
+		if resume {
+			if _, err := cl.IngestRetry(b); err == nil {
+				row.acked++
+			}
+			continue
+		}
+		// Resume off: one shot per batch. A transport error means the batch's
+		// fate is unknown and there is no idempotency key to resend under, so
+		// the application must drop it and reconnect; typed rejections
+		// (degraded window, backpressure) are equally unresumable without a
+		// key — resubmitting could double-apply a batch the log kept.
+		if _, err := cl.Ingest(b); err == nil {
+			row.acked++
+		} else {
+			cl.Close()
+			if cl, ok = dial(); !ok {
+				return row, false
+			}
+			row.redials++
+		}
+	}
+	if resume {
+		row.redials = cl.Redials
+		row.dupAcks = cl.DupAcks
+	}
+	row.diskFired = inj.Fired()
+	return row, true
+}

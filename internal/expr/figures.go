@@ -439,7 +439,7 @@ func All(sc Scale) []Table {
 		Table1(sc), Fig4a(sc), Fig4b(sc), Fig11(sc), Fig12(sc), Fig13(sc),
 		Fig14a(sc), Fig14b(sc), Fig15a(sc), Fig15b(sc), Fig16(sc), Fig17(sc),
 		FigS1(sc), FigS2(sc), FigS3(sc), FigS4(sc), FigS5(sc), FigS6(sc),
-		FigS7(sc),
+		FigS7(sc), FigS8(sc),
 	}
 }
 
@@ -485,6 +485,8 @@ func ByID(id string) (func(Scale) Table, bool) {
 		return FigS6, true
 	case "s7", "replication":
 		return FigS7, true
+	case "s8", "chaos":
+		return FigS8, true
 	}
 	return nil, false
 }

@@ -40,6 +40,13 @@ type Backend interface {
 	Dirty() bool
 	Snapshot() error
 	Close() error
+	// ReopenLog is the degraded-mode exit: snapshot the applied state and
+	// swap in a fresh log generation after a disk-fault poisoning. The
+	// server's prober retries it until appends succeed again.
+	ReopenLog() error
+	// Abandon releases resources without any final snapshot or fsync — the
+	// in-process stand-in for kill -9 that chaos tests use.
+	Abandon()
 }
 
 // SelectiveBackend serves a durable selective engine (the original
@@ -61,10 +68,12 @@ func (b SelectiveBackend) Group(onAppend func(uint64, graph.Batch), gs *metrics.
 func (b SelectiveBackend) ApplyLogged(ctx context.Context, seq uint64, bt graph.Batch) (engine.BatchStats, error) {
 	return b.D.ApplyLogged(ctx, seq, bt)
 }
-func (b SelectiveBackend) Seq() uint64     { return b.D.Seq() }
-func (b SelectiveBackend) Dirty() bool     { return b.D.Dirty() }
-func (b SelectiveBackend) Snapshot() error { return b.D.Snapshot() }
-func (b SelectiveBackend) Close() error    { return b.D.Close() }
+func (b SelectiveBackend) Seq() uint64      { return b.D.Seq() }
+func (b SelectiveBackend) Dirty() bool      { return b.D.Dirty() }
+func (b SelectiveBackend) Snapshot() error  { return b.D.Snapshot() }
+func (b SelectiveBackend) Close() error     { return b.D.Close() }
+func (b SelectiveBackend) ReopenLog() error { return b.D.ReopenLog() }
+func (b SelectiveBackend) Abandon()         { b.D.Abandon() }
 
 // LocalBackend serves a durable local engine (triangle counting, k-core):
 // per-vertex values only — snapshot parents are absent, so Get replies
@@ -86,7 +95,9 @@ func (b LocalBackend) Group(onAppend func(uint64, graph.Batch), gs *metrics.Hist
 func (b LocalBackend) ApplyLogged(ctx context.Context, seq uint64, bt graph.Batch) (engine.BatchStats, error) {
 	return b.D.ApplyLogged(ctx, seq, bt)
 }
-func (b LocalBackend) Seq() uint64     { return b.D.Seq() }
-func (b LocalBackend) Dirty() bool     { return b.D.Dirty() }
-func (b LocalBackend) Snapshot() error { return b.D.Snapshot() }
-func (b LocalBackend) Close() error    { return b.D.Close() }
+func (b LocalBackend) Seq() uint64      { return b.D.Seq() }
+func (b LocalBackend) Dirty() bool      { return b.D.Dirty() }
+func (b LocalBackend) Snapshot() error  { return b.D.Snapshot() }
+func (b LocalBackend) Close() error     { return b.D.Close() }
+func (b LocalBackend) ReopenLog() error { return b.D.ReopenLog() }
+func (b LocalBackend) Abandon()         { b.D.Abandon() }

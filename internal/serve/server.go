@@ -109,18 +109,25 @@ type Server struct {
 
 	mu       sync.Mutex
 	draining bool
+	stopped  bool  // Shutdown/Abort already ran (or is running)
 	failed   error // first applier error; the server refuses new work
+	degraded error // first append-path error; read-only until the prober recovers
+	proberOn bool
 	sessions map[*session]struct{}
 	subs     map[*subscriber]struct{}
 
 	acceptDone  chan struct{}
 	applierDone chan struct{}
+	stopProbe   chan struct{}
 	sessWG      sync.WaitGroup
+	proberWG    sync.WaitGroup
 
 	mSessions  *metrics.Gauge
 	mRejected  *metrics.Counter
 	mGroupSize *metrics.Histogram
 	mReadLag   *metrics.Histogram
+	mDegraded  *metrics.Counter
+	mRecovered *metrics.Counter
 }
 
 // New starts a server listening on cfg.Addr. The durable engine's log moves
@@ -142,12 +149,15 @@ func New(cfg Config) (*Server, error) {
 		subs:        make(map[*subscriber]struct{}),
 		acceptDone:  make(chan struct{}),
 		applierDone: make(chan struct{}),
+		stopProbe:   make(chan struct{}),
 	}
 	if r := cfg.Metrics; r != nil {
 		s.mSessions = r.Gauge("serve.sessions")
 		s.mRejected = r.Counter("serve.rejected")
 		s.mGroupSize = r.Histogram("serve.group_commit_size")
 		s.mReadLag = r.Histogram("serve.read_lag_ns")
+		s.mDegraded = r.Counter("serve.degraded_entries")
+		s.mRecovered = r.Counter("serve.degraded_recoveries")
 	}
 	// Readers have a consistent answer from the first connection on, even
 	// before any batch arrives.
@@ -242,7 +252,7 @@ func (s *Server) fanout(m vvList) {
 }
 
 // admit reserves one admission slot, returning a typed rejection when the
-// server is draining, failed, or at its backpressure window.
+// server is draining, failed, degraded, or at its backpressure window.
 func (s *Server) admit() *RejectError {
 	s.mu.Lock()
 	if s.draining {
@@ -253,6 +263,10 @@ func (s *Server) admit() *RejectError {
 		s.mu.Unlock()
 		return &RejectError{Code: RejectDraining, Reason: "server failed: " + s.failed.Error()}
 	}
+	if deg := s.degraded; deg != nil {
+		s.mu.Unlock()
+		return &RejectError{Code: RejectDegraded, Reason: "log unavailable: " + deg.Error()}
+	}
 	s.mu.Unlock()
 	select {
 	case s.tokens <- struct{}{}:
@@ -262,14 +276,83 @@ func (s *Server) admit() *RejectError {
 	}
 }
 
+// Degraded reports whether the server is currently refusing ingest because
+// the log cannot append (reads keep serving the published snapshot).
+func (s *Server) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded != nil
+}
+
+// enterDegraded flips the server read-only after an append-path error and
+// (once) starts the prober that tries to bring the log back. The triggering
+// session already released its token; in-flight appends drain through the
+// applier as usual — only *new* ingest is refused.
+func (s *Server) enterDegraded(err error) {
+	s.mu.Lock()
+	if s.degraded == nil {
+		s.degraded = err
+		if s.mDegraded != nil {
+			s.mDegraded.Inc()
+		}
+	}
+	start := !s.proberOn && !s.stopped
+	if start {
+		s.proberOn = true
+		s.proberWG.Add(1)
+	}
+	s.mu.Unlock()
+	if start {
+		go s.prober()
+	}
+}
+
+// prober retries Backend.ReopenLog with capped exponential backoff until the
+// log accepts appends again (degraded mode ends) or the server stops.
+// ReopenLog itself refuses to run until the applier has drained everything
+// the dead log generation acknowledged, so recovery never loses a logged
+// batch.
+func (s *Server) prober() {
+	defer s.proberWG.Done()
+	backoff := 2 * time.Millisecond
+	for {
+		select {
+		case <-s.stopProbe:
+			return
+		case <-time.After(backoff):
+		}
+		if err := s.b.ReopenLog(); err != nil {
+			if backoff *= 2; backoff > 100*time.Millisecond {
+				backoff = 100 * time.Millisecond
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.degraded = nil
+		s.proberOn = false
+		if s.mRecovered != nil {
+			s.mRecovered.Inc()
+		}
+		s.mu.Unlock()
+		return
+	}
+}
+
 // Shutdown drains and stops the server: new batches are rejected as
 // draining, admitted batches finish applying, sessions get a bye, the final
 // state is snapshotted (unless the engine died mid-apply), and the log is
 // closed. Safe to call once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return errors.New("serve: already stopped")
+	}
+	s.stopped = true
 	s.draining = true
 	s.mu.Unlock()
+	close(s.stopProbe)
+	s.proberWG.Wait()
 	s.ln.Close()
 	<-s.acceptDone
 
@@ -316,4 +399,48 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return fmt.Errorf("serve: applier failed: %w", failed)
 	}
 	return derr
+}
+
+// Abort is the in-process stand-in for kill -9: it stops the server WITHOUT
+// a final snapshot, final fsync, or session byes — exactly the state a dead
+// process leaves on disk. Chaos tests use it so the next Recover sees what a
+// real crash would leave; production stops should use Shutdown.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.draining = true
+	s.mu.Unlock()
+	close(s.stopProbe)
+	s.proberWG.Wait()
+	s.ln.Close()
+	<-s.acceptDone
+
+	// Let in-flight appends land so the applier can be stopped by closing
+	// its queue (goroutine hygiene, not durability: anything the dead
+	// process had in memory is discarded anyway — recovery reads the disk).
+	for i := 0; i < cap(s.tokens); i++ {
+		s.tokens <- struct{}{}
+	}
+	close(s.applyQ)
+	<-s.applierDone
+
+	s.mu.Lock()
+	for sub := range s.subs {
+		delete(s.subs, sub)
+		close(sub.ch)
+	}
+	sess := make([]*session, 0, len(s.sessions))
+	for c := range s.sessions {
+		sess = append(sess, c)
+	}
+	s.mu.Unlock()
+	for _, c := range sess {
+		c.conn.Close() // no bye: the peer sees the drop a crash produces
+	}
+	s.sessWG.Wait()
+	s.b.Abandon()
 }

@@ -18,16 +18,24 @@ const writeTimeout = 30 * time.Second
 // session's batches reach the WAL in submission order — per-session FIFO),
 // and reads are answered inline from the published snapshot.
 type session struct {
-	srv  *Server
-	conn net.Conn
-	role byte
+	srv      *Server
+	conn     net.Conn
+	role     byte
+	clientID string // stable identity for exactly-once resume; "" = anonymous
 
 	wmu sync.Mutex // serializes conn writes (worker, read loop, pump)
 
-	q     chan graph.Batch // bounded ingest queue feeding the worker
-	qdone chan struct{}    // closed when the worker has drained q
+	q     chan ingestReq // bounded ingest queue feeding the worker
+	qdone chan struct{}  // closed when the worker has drained q
 
 	closeOnce sync.Once
+}
+
+// ingestReq is one decoded batch with its idempotency key (clientSeq 0 =
+// untagged).
+type ingestReq struct {
+	clientSeq uint64
+	b         graph.Batch
 }
 
 // write sends one frame under the write mutex with a bounded deadline.
@@ -60,17 +68,22 @@ func (c *session) bye(reason string) {
 func (s *Server) serveConn(conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(writeTimeout))
 	kind, payload, err := wal.ReadFrame(conn)
-	if err != nil || kind != skHello || len(payload) != 1 {
+	if err != nil || kind != skHello {
 		conn.Close()
 		return
 	}
-	role := payload[0]
+	role, clientID, err := decodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
 	c := &session{
-		srv:   s,
-		conn:  conn,
-		role:  role,
-		q:     make(chan graph.Batch, s.cfg.sessionQueue()),
-		qdone: make(chan struct{}),
+		srv:      s,
+		conn:     conn,
+		role:     role,
+		clientID: clientID,
+		q:        make(chan ingestReq, s.cfg.sessionQueue()),
+		qdone:    make(chan struct{}),
 	}
 	s.mu.Lock()
 	switch {
@@ -139,7 +152,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				c.reject(RejectBadRequest, "ingest on a query session")
 				return
 			}
-			b, derr := decodeBatch(payload)
+			cseq, b, derr := decodeIngest(payload)
 			if derr != nil {
 				c.reject(RejectBadRequest, derr.Error())
 				return
@@ -151,7 +164,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			select {
-			case c.q <- b:
+			case c.q <- ingestReq{clientSeq: cseq, b: b}:
 			default:
 				c.reject(RejectSessionBusy, "session queue full")
 			}
@@ -174,26 +187,42 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // ingestWorker drains the session queue in FIFO order: admission token,
 // group-commit append (durable on return), then the ack carrying the
-// assigned sequence.
+// assigned sequence and whether the batch was a deduplicated resend. An
+// append failure no longer kills the session: the server flips to degraded
+// (read-only) mode, the batch is rejected as RejectDegraded, and the client
+// resubmits the same clientSeq once the prober brings the log back — the
+// dedup window keeps an append that landed before the fault exactly-once.
 func (c *session) ingestWorker() {
 	defer close(c.qdone)
-	for b := range c.q {
+	for r := range c.q {
 		if re := c.srv.admit(); re != nil {
 			c.reject(re.Code, re.Reason)
 			continue
 		}
-		seq, err := c.srv.gc.Append(b)
+		seq, dup, err := c.srv.gc.AppendTagged(c.clientID, r.clientSeq, r.b)
 		if err != nil {
-			// The log refused (poisoned or out of order): the slot was
-			// reserved but nothing was enqueued for apply, so release it
-			// here and end the session.
+			// seq == 0: nothing was logged or enqueued (a torn write, a
+			// poisoned log, or a dup whose durability re-check failed), so
+			// the reserved slot must be released here. seq != 0: only the
+			// fsync failed — the frame IS logged, onAppend enqueued it, and
+			// the applier releases the slot after applying, exactly like a
+			// healthy append whose ack was lost; the client's resend of the
+			// same clientSeq dedups against it.
+			if seq == 0 {
+				<-c.srv.tokens
+			}
+			c.srv.enterDegraded(err)
+			c.reject(RejectDegraded, "append failed: "+err.Error())
+			continue
+		}
+		if dup {
+			// A resend of an already-logged batch: acked with its original
+			// sequence, never re-applied. Release the unused apply slot.
 			<-c.srv.tokens
-			c.reject(RejectDraining, "append failed: "+err.Error())
-			c.bye("log unavailable")
-			return
 		}
 		var e wal.Enc
 		e.U64(seq)
+		e.Bool(dup)
 		c.write(skIngestAck, e.B)
 	}
 }

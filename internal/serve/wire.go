@@ -20,11 +20,11 @@ import (
 // (dist/wire.go) but a disjoint kind range, so a cluster peer talking to a
 // serving port — or vice versa — fails loudly on the first frame.
 const (
-	skHello     byte = 0x20 // client -> server: [1B role]
+	skHello     byte = 0x20 // client -> server: [1B role] + optional client identity
 	skWelcome   byte = 0x21 // server -> client: alg name, numV, applied seq
 	skReject    byte = 0x22 // server -> client: [1B code][reason]; admission or per-batch refusal
-	skIngest    byte = 0x23 // client -> server: one update batch
-	skIngestAck byte = 0x24 // server -> client: [8B seq] batch durable + ordered
+	skIngest    byte = 0x23 // client -> server: [8B clientSeq] + one update batch
+	skIngestAck byte = 0x24 // server -> client: [8B seq][1B dup] batch durable + ordered
 	skGet       byte = 0x25 // client -> server: [4B vertex]
 	skValue     byte = 0x26 // server -> client: snapshot seq, vertex, value, parent
 	skTopK      byte = 0x27 // client -> server: [4B k]
@@ -50,6 +50,12 @@ const (
 	RejectSessionBusy byte = 2 // this session's inflight window is full
 	RejectDraining    byte = 3 // server is shutting down; no new batches
 	RejectBadRequest  byte = 4 // malformed batch or message
+	// RejectDegraded means the WAL cannot accept appends (disk full, I/O
+	// errors): the server is read-only until its prober reopens the log.
+	// Retryable — back off and resubmit the SAME batch under the SAME
+	// clientSeq: the failed attempt may have been logged before the fault,
+	// and only the idempotency key keeps the resend exactly-once.
+	RejectDegraded byte = 5
 )
 
 // RejectError is the typed overload/refusal a client sees for one batch.
@@ -65,7 +71,7 @@ func (e *RejectError) Error() string {
 // Retryable reports whether the same batch may be resubmitted on this
 // session once the server catches up.
 func (e *RejectError) Retryable() bool {
-	return e.Code == RejectOverloaded || e.Code == RejectSessionBusy
+	return e.Code == RejectOverloaded || e.Code == RejectSessionBusy || e.Code == RejectDegraded
 }
 
 // welcome is the server's hello reply.
@@ -107,8 +113,12 @@ func decodeReject(p []byte) (*RejectError, error) {
 
 const updateLen = 4 + 4 + 8 + 1
 
-func encodeBatch(b graph.Batch) []byte {
+// encodeIngest frames one batch with its idempotency key. clientSeq 0 means
+// untagged (a legacy or anonymous client): the server appends it without
+// exactly-once accounting.
+func encodeIngest(clientSeq uint64, b graph.Batch) []byte {
 	var e wal.Enc
+	e.U64(clientSeq)
 	e.U32(uint32(len(b)))
 	for _, u := range b {
 		e.U32(u.Src)
@@ -119,8 +129,9 @@ func encodeBatch(b graph.Batch) []byte {
 	return e.B
 }
 
-func decodeBatch(p []byte) (graph.Batch, error) {
+func decodeIngest(p []byte) (uint64, graph.Batch, error) {
 	d := wal.Dec{B: p}
+	clientSeq := d.U64()
 	n := d.Count(updateLen)
 	b := make(graph.Batch, n)
 	for i := range b {
@@ -129,7 +140,29 @@ func decodeBatch(p []byte) (graph.Batch, error) {
 		b[i].W = graph.Weight(d.F64())
 		b[i].Del = d.U8() != 0
 	}
-	return b, d.Err("ingest")
+	return clientSeq, b, d.Err("ingest")
+}
+
+// encodeHello frames the session hello: the role byte, plus the client's
+// stable identity when it wants exactly-once resume. A bare [1B role] is the
+// legacy anonymous form and stays accepted.
+func encodeHello(role byte, clientID string) []byte {
+	var e wal.Enc
+	e.U8(role)
+	if clientID != "" {
+		e.Str(clientID)
+	}
+	return e.B
+}
+
+func decodeHello(p []byte) (role byte, clientID string, err error) {
+	if len(p) == 1 {
+		return p[0], "", nil
+	}
+	d := wal.Dec{B: p}
+	role = d.U8()
+	clientID = d.Str()
+	return role, clientID, d.Err("hello")
 }
 
 // value is one per-vertex read reply.

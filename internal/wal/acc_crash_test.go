@@ -34,14 +34,14 @@ func runUntilCrashAcc(t *testing.T, w gen.Workload, alg algo.Accumulative, dc Du
 	for _, b := range w.Batches {
 		if _, err := d.ProcessBatch(context.Background(), b); err != nil {
 			if _, ok := err.(*crashError); ok {
-				d.abandon()
+				d.Abandon()
 				return acked, true
 			}
 			t.Fatal(err)
 		}
 		acked++
 	}
-	d.abandon()
+	d.Abandon()
 	return acked, false
 }
 
@@ -229,14 +229,14 @@ func runUntilCrashLocal(t *testing.T, w gen.Workload, alg algo.Local, dc Durable
 	for _, b := range w.Batches {
 		if _, err := d.ProcessBatch(context.Background(), b); err != nil {
 			if _, ok := err.(*crashError); ok {
-				d.abandon()
+				d.Abandon()
 				return acked, true
 			}
 			t.Fatal(err)
 		}
 		acked++
 	}
-	d.abandon()
+	d.Abandon()
 	return acked, false
 }
 

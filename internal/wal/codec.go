@@ -59,6 +59,16 @@ const (
 	// (rank vector + aggregate + last-broadcast residuals) in place of
 	// KindSnapState inside an accumulative snapshot file.
 	KindSnapAccState byte = 7
+	// KindBatchTagged is a logged edge batch carrying a client idempotency
+	// key: [4B len][clientID][8B clientSeq][KindBatch payload]. The key and
+	// the batch share one frame (one CRC), so a torn write can never persist
+	// the batch without its dedup record or vice versa.
+	KindBatchTagged byte = 8
+	// KindSnapDedup, when present between KindSnapState (or KindSnapAccState)
+	// and the footer, carries the per-client dedup window consistent with the
+	// snapshot's sequence. Readers tolerate its absence: snapshots written
+	// before exactly-once ingest (or with dedup disabled) simply lack it.
+	KindSnapDedup byte = 9
 )
 
 // castagnoli is the CRC32C polynomial table (the same checksum families
@@ -173,6 +183,35 @@ func DecodeBatch(p []byte) (seq uint64, b graph.Batch, err error) {
 		}
 	}
 	return seq, b, nil
+}
+
+// maxClientIDLen bounds a client identity inside tagged frames; a longer
+// declared length is corruption, never an allocation request.
+const maxClientIDLen = 256
+
+// EncodeTaggedBatch encodes a sequence-numbered edge batch carrying a client
+// idempotency key (clientID, clientSeq). The tag prefixes a standard
+// EncodeBatch payload so the two decode paths share the batch tail.
+func EncodeTaggedBatch(buf []byte, seq uint64, clientID string, clientSeq uint64, b graph.Batch) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(clientID)))
+	buf = append(buf, clientID...)
+	buf = binary.LittleEndian.AppendUint64(buf, clientSeq)
+	return EncodeBatch(buf, seq, b)
+}
+
+// DecodeTaggedBatch decodes EncodeTaggedBatch's payload.
+func DecodeTaggedBatch(p []byte) (seq uint64, b graph.Batch, clientID string, clientSeq uint64, err error) {
+	if len(p) < 4 {
+		return 0, nil, "", 0, fmt.Errorf("%w: tagged batch payload %d bytes", ErrCorrupt, len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p[0:4]))
+	if n < 1 || n > maxClientIDLen || len(p) < 4+n+8 {
+		return 0, nil, "", 0, fmt.Errorf("%w: tagged batch declares %d-byte client id", ErrCorrupt, n)
+	}
+	clientID = string(p[4 : 4+n])
+	clientSeq = binary.LittleEndian.Uint64(p[4+n : 12+n])
+	seq, b, err = DecodeBatch(p[12+n:])
+	return seq, b, clientID, clientSeq, err
 }
 
 // EncodeDistCheckpoint encodes a distributed worker's checkpoint payload:

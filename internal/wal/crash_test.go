@@ -69,14 +69,14 @@ func runUntilCrash(t *testing.T, dir string, w gen.Workload, alg algo.Selective,
 	for _, b := range w.Batches {
 		if _, err := d.ProcessBatch(context.Background(), b); err != nil {
 			if _, ok := err.(*crashError); ok {
-				d.abandon()
+				d.Abandon()
 				return acked, true
 			}
 			t.Fatal(err)
 		}
 		acked++
 	}
-	d.abandon() // even clean completions die without Close: written bytes persist
+	d.Abandon() // even clean completions die without Close: written bytes persist
 	return acked, false
 }
 

@@ -44,6 +44,12 @@ type DurableConfig struct {
 	// SnapshotEvery checkpoints after every N batches (0 = only the
 	// creation-time snapshot; the log then grows unboundedly).
 	SnapshotEvery int
+	// DedupWindow, when positive, enables exactly-once ingest: the wrapper
+	// keeps a per-client window of that many (clientSeq -> walSeq)
+	// assignments, persists it inside snapshots, rebuilds it during
+	// recovery, and the GroupCommit consults it so a resent batch is
+	// acknowledged without a second append or apply.
+	DedupWindow int
 }
 
 // durableCore is the engine-agnostic half of a durable wrapper: the
@@ -58,6 +64,7 @@ type durableCore struct {
 	sinceSnap int
 	dirty     bool         // a batch is mid-apply (or died mid-apply)
 	gc        *GroupCommit // non-nil once Group() put the log in serving mode
+	dedup     *DedupTable  // non-nil when cfg.DedupWindow > 0
 
 	checkBatch func(graph.Batch) error
 	applyBatch func(context.Context, graph.Batch) (engine.BatchStats, error)
@@ -128,10 +135,13 @@ func (d *durableCore) Group(onAppend func(seq uint64, b graph.Batch), groupSize 
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.gc == nil {
-		d.gc = newGroupCommit(d.log, d.seq, onAppend, groupSize)
+		d.gc = newGroupCommit(d.log, d.seq, onAppend, d.dedup, groupSize)
 	}
 	return d.gc
 }
+
+// Dedup exposes the dedup table (nil when DedupWindow is 0).
+func (d *durableCore) Dedup() *DedupTable { return d.dedup }
 
 // Dirty reports whether the engine died mid-batch (canceled apply), in
 // which case the in-memory state is between batch boundaries and must not
@@ -207,6 +217,68 @@ func (d *durableCore) snapshotLocked() error {
 	return nil
 }
 
+// ReopenLog recovers from a poisoned log without losing the live engine —
+// the degraded-mode exit. It must only be called once appends are failing
+// (the log is poisoned) and, in serving mode, keeps retrying cheaply until
+// the applier has caught up with every append that made it into the log.
+//
+// The in-memory engine is the recovery base: everything the applier has
+// applied was either durable already or enqueued by an append whose ack may
+// have failed only at the fsync — and every such batch's dedup record rode
+// the same frame, so a client resend is acknowledged without reapply. The
+// exit therefore snapshots the applied state (snapshot writes bypass the
+// append-path fault window), restarts the chain there with a fresh log over
+// the repaired directory, and clears the group's sticky sync error.
+func (d *durableCore) ReopenLog() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dirty {
+		return ErrEngineDirty
+	}
+	establish := func(nl *Log) error {
+		if nl.LastSeq() > d.seq {
+			return fmt.Errorf("wal: reopen: log holds seq %d but only %d applied; applier behind", nl.LastSeq(), d.seq)
+		}
+		if err := d.writeSnap(d.seq); err != nil {
+			return err
+		}
+		if err := nl.resetTo(d.seq); err != nil {
+			return err
+		}
+		d.sinceSnap = 0
+		d.log = nl
+		if m := d.cfg.Wal.Metrics; m != nil {
+			m.Counter("wal.reopens").Inc()
+		}
+		seqs, err := Snapshots(d.cfg.Wal.Dir)
+		if err != nil {
+			return nil // retention is best-effort here; the base is durable
+		}
+		for len(seqs) > snapRetain {
+			if err := removeSnapshot(d.cfg.Wal, seqs[0]); err != nil {
+				return nil
+			}
+			seqs = seqs[1:]
+		}
+		return nil
+	}
+	if d.gc != nil {
+		return d.gc.reopen(establish)
+	}
+	old := d.log
+	old.abandon()
+	nl, err := Open(d.cfg.Wal)
+	if err != nil {
+		return err
+	}
+	if err := establish(nl); err != nil {
+		nl.abandon()
+		d.log = old
+		return err
+	}
+	return nil
+}
+
 // Close syncs (per policy) and closes the log. The engine stays usable but
 // further batches are no longer durable. In serving mode the caller must
 // have stopped every appender first.
@@ -216,9 +288,9 @@ func (d *durableCore) Close() error {
 	return d.withLog((*Log).Close)
 }
 
-// abandon drops the log handle without any cleanup — the crash fuzzer's
-// process-death stand-in.
-func (d *durableCore) abandon() { d.log.abandon() }
+// Abandon drops the log handle without any cleanup — the crash fuzzers' and
+// chaos harnesses' process-death stand-in.
+func (d *durableCore) Abandon() { d.log.abandon() }
 
 // openFreshLog opens dc's directory for a brand-new durable engine,
 // refusing directories that already hold recovery artifacts.
@@ -252,8 +324,22 @@ func (d *DurableSelective) wire() {
 	d.applyBatch = d.Eng.ProcessBatchCtx
 	d.writeSnap = func(seq uint64) error {
 		vals, parent := d.Eng.SnapshotState()
-		return WriteSnapshot(d.cfg.Wal, seq, d.Eng.G, vals, parent)
+		return writeSnapshotWith(d.cfg.Wal, seq, d.Eng.G, vals, parent, d.dedup)
 	}
+}
+
+// initDedup builds the dedup table for a fresh or recovered wrapper: the
+// snapshot's persisted window when one survived (recovery), else empty.
+func (d *durableCore) initDedup(fromSnap *DedupTable) {
+	if d.cfg.DedupWindow <= 0 {
+		return
+	}
+	if fromSnap != nil {
+		d.dedup = fromSnap
+		d.dedup.setWindow(d.cfg.DedupWindow)
+		return
+	}
+	d.dedup = NewDedupTable(d.cfg.DedupWindow)
 }
 
 // NewDurableSelective builds a fresh engine over g (running the static
@@ -266,6 +352,7 @@ func NewDurableSelective(g *graph.Streaming, alg algo.Selective, ecfg engine.Con
 	}
 	d := &DurableSelective{Eng: engine.NewSelective(g, alg, ecfg)}
 	d.log, d.cfg = log, dc
+	d.initDedup(nil)
 	d.wire()
 	// The creation-time snapshot (seq 0) makes the initial graph and solve
 	// durable, so recovery never depends on regenerating the input.
@@ -288,16 +375,19 @@ type RecoveryStats struct {
 // apply, updating rs; it then repairs a log whose surviving tail predates
 // the snapshot (an unsynced tail torn away) by restarting the sequence
 // chain at the snapshot. Shared by every recovery path.
-func replayTail(dc DurableConfig, snapSeq uint64, rs *RecoveryStats,
+func replayTail(dc DurableConfig, snapSeq uint64, dedup *DedupTable, rs *RecoveryStats,
 	apply func(b graph.Batch) error) (*Log, error) {
 	log, err := Open(dc.Wal)
 	if err != nil {
 		return nil, err
 	}
 	last := snapSeq
-	err = log.Replay(snapSeq, func(seq uint64, b graph.Batch) error {
+	err = log.ReplayTagged(snapSeq, func(seq uint64, b graph.Batch, cid string, cseq uint64) error {
 		if err := apply(b); err != nil {
 			return err
+		}
+		if dedup != nil && cid != "" {
+			dedup.Record(cid, cseq, seq)
 		}
 		last = seq
 		rs.Replayed++
@@ -365,7 +455,10 @@ func RecoverSelective(alg algo.Selective, ecfg engine.Config, dc DurableConfig) 
 	if err != nil {
 		return nil, rs, err
 	}
-	log, err := replayTail(dc, sd.Seq, &rs, func(b graph.Batch) error {
+	d := &DurableSelective{Eng: eng}
+	d.cfg = dc
+	d.initDedup(sd.Dedup)
+	log, err := replayTail(dc, sd.Seq, d.dedup, &rs, func(b graph.Batch) error {
 		_, err := eng.ProcessBatchE(b)
 		return err
 	})
@@ -376,8 +469,7 @@ func RecoverSelective(alg algo.Selective, ecfg engine.Config, dc DurableConfig) 
 	if m := dc.Wal.Metrics; m != nil {
 		m.Gauge("recovery.ns").Set(float64(rs.Duration.Nanoseconds()))
 	}
-	d := &DurableSelective{Eng: eng}
-	d.log, d.cfg, d.seq = log, dc, rs.LastSeq
+	d.log, d.seq = log, rs.LastSeq
 	d.wire()
 	return d, rs, nil
 }

@@ -66,7 +66,7 @@ func RecoverAccumulative(alg algo.Accumulative, ecfg engine.Config, dc DurableCo
 	if err != nil {
 		return nil, rs, err
 	}
-	log, err := replayTail(dc, sd.Seq, &rs, func(b graph.Batch) error {
+	log, err := replayTail(dc, sd.Seq, nil, &rs, func(b graph.Batch) error {
 		_, err := eng.ProcessBatchE(b)
 		return err
 	})

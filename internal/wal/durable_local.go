@@ -22,7 +22,7 @@ func (d *DurableLocal) wire() {
 	d.checkBatch = d.Eng.G.CheckBatch
 	d.applyBatch = d.Eng.ProcessBatchCtx
 	d.writeSnap = func(seq uint64) error {
-		return WriteSnapshot(d.cfg.Wal, seq, d.Eng.G, d.Eng.SnapshotState(), nil)
+		return writeSnapshotWith(d.cfg.Wal, seq, d.Eng.G, d.Eng.SnapshotState(), nil, d.dedup)
 	}
 }
 
@@ -36,6 +36,7 @@ func NewDurableLocal(g *graph.Streaming, alg algo.Local, ecfg engine.Config, dc 
 	}
 	d := &DurableLocal{Eng: engine.NewLocal(g, alg, ecfg)}
 	d.log, d.cfg = log, dc
+	d.initDedup(nil)
 	d.wire()
 	if err := d.Snapshot(); err != nil {
 		log.Close()
@@ -66,7 +67,10 @@ func RecoverLocal(alg algo.Local, ecfg engine.Config, dc DurableConfig) (*Durabl
 	if err != nil {
 		return nil, rs, err
 	}
-	log, err := replayTail(dc, sd.Seq, &rs, func(b graph.Batch) error {
+	d := &DurableLocal{Eng: eng}
+	d.cfg = dc
+	d.initDedup(sd.Dedup)
+	log, err := replayTail(dc, sd.Seq, d.dedup, &rs, func(b graph.Batch) error {
 		_, err := eng.ProcessBatchE(b)
 		return err
 	})
@@ -77,8 +81,7 @@ func RecoverLocal(alg algo.Local, ecfg engine.Config, dc DurableConfig) (*Durabl
 	if m := dc.Wal.Metrics; m != nil {
 		m.Gauge("recovery.ns").Set(float64(rs.Duration.Nanoseconds()))
 	}
-	d := &DurableLocal{Eng: eng}
-	d.log, d.cfg, d.seq = log, dc, rs.LastSeq
+	d.log, d.seq = log, rs.LastSeq
 	d.wire()
 	return d, rs, nil
 }

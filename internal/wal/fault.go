@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// DiskFaultInjector is the plain-error sibling of the crash-site hook: where
+// the hook simulates process death (append aborted, test re-Opens the
+// directory), the injector simulates a disk that keeps failing while the
+// process lives — ENOSPC, EIO, a failing fsync. A fired fault poisons the
+// log exactly like a real write error; the owner is expected to degrade to
+// read-only, keep probing, and Reopen once the injector (or the disk)
+// relents.
+//
+// Faults fire only at the append-path sites ("append.write", "append.sync",
+// "rotate.create"): snapshot writes stay healthy so degraded recovery can
+// always establish a new base. The injector is shared by reference through
+// Options copies and across log reopens, so one armed window governs the
+// whole episode. It is safe for concurrent use.
+type DiskFaultInjector struct {
+	mu    sync.Mutex
+	err   error
+	after int // fault-eligible ops to let through before failing
+	count int // ops to fail once armed (-1 = until Clear)
+	fired int64
+}
+
+// NewDiskFaultInjector arms an injector: after `after` eligible operations
+// succeed, the next `count` fail with err (count < 0 = fail until Clear).
+func NewDiskFaultInjector(err error, after, count int) *DiskFaultInjector {
+	return &DiskFaultInjector{err: err, after: after, count: count}
+}
+
+// ParseDiskFaultSpec parses a CLI fault window of the form
+// "after=N,count=M,err=enospc|eio" (any component optional; defaults
+// after=0, count=1, err=enospc). An empty spec returns (nil, nil).
+func ParseDiskFaultSpec(spec string) (*DiskFaultInjector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	inj := &DiskFaultInjector{err: syscall.ENOSPC, count: 1}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("wal: diskfault spec %q: want key=value", kv)
+		}
+		switch k {
+		case "after", "count":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("wal: diskfault %s=%q: %v", k, v, err)
+			}
+			if k == "after" {
+				inj.after = n
+			} else {
+				inj.count = n
+			}
+		case "err":
+			switch v {
+			case "enospc":
+				inj.err = syscall.ENOSPC
+			case "eio":
+				inj.err = syscall.EIO
+			default:
+				return nil, fmt.Errorf("wal: diskfault err=%q: want enospc or eio", v)
+			}
+		default:
+			return nil, fmt.Errorf("wal: diskfault spec: unknown key %q", k)
+		}
+	}
+	return inj, nil
+}
+
+// Set re-arms the injector with a new window.
+func (inj *DiskFaultInjector) Set(err error, after, count int) {
+	inj.mu.Lock()
+	inj.err, inj.after, inj.count = err, after, count
+	inj.mu.Unlock()
+}
+
+// Clear disarms the injector; the disk is healthy again.
+func (inj *DiskFaultInjector) Clear() {
+	inj.mu.Lock()
+	inj.count = 0
+	inj.mu.Unlock()
+}
+
+// Fired returns how many faults the injector has injected.
+func (inj *DiskFaultInjector) Fired() int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired
+}
+
+// fire is the Options.fire integration point.
+func (inj *DiskFaultInjector) fire(site string) error {
+	if !strings.HasPrefix(site, "append.") && site != "rotate.create" {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.count == 0 {
+		return nil
+	}
+	if inj.after > 0 {
+		inj.after--
+		return nil
+	}
+	if inj.count > 0 {
+		inj.count--
+	}
+	inj.fired++
+	return fmt.Errorf("wal: injected disk fault at %s: %w", site, inj.err)
+}

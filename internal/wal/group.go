@@ -26,6 +26,7 @@ type GroupCommit struct {
 	mu       sync.Mutex // serializes l.append, onAppend, rotation, truncation
 	l        *Log
 	onAppend func(seq uint64, b graph.Batch)
+	dedup    *DedupTable // nil = exactly-once ingest disabled
 
 	next uint64 // last assigned sequence (under mu)
 
@@ -41,10 +42,11 @@ type GroupCommit struct {
 	groupSize *metrics.Histogram
 }
 
-func newGroupCommit(l *Log, start uint64, onAppend func(seq uint64, b graph.Batch), groupSize *metrics.Histogram) *GroupCommit {
+func newGroupCommit(l *Log, start uint64, onAppend func(seq uint64, b graph.Batch), dedup *DedupTable, groupSize *metrics.Histogram) *GroupCommit {
 	return &GroupCommit{
 		l:         l,
 		onAppend:  onAppend,
+		dedup:     dedup,
 		next:      start,
 		synced:    start, // everything <= start is snapshot-covered or replayed
 		wake:      make(chan struct{}),
@@ -58,15 +60,49 @@ func newGroupCommit(l *Log, start uint64, onAppend func(seq uint64, b graph.Batc
 // before any later append — so it observes batches in exactly the logged
 // order; it must not block.
 func (gc *GroupCommit) Append(b graph.Batch) (uint64, error) {
+	seq, _, err := gc.AppendTagged("", 0, b)
+	return seq, err
+}
+
+// AppendTagged is Append carrying a client idempotency key. When the key was
+// already logged (a resend after a reconnect, a degraded episode, or a
+// daemon restart) it reports dup=true with the original sequence — already
+// durable and already on its way to the engine — without a second append or
+// apply; otherwise it logs the batch with the key embedded in the frame and
+// records the assignment in the dedup window. An empty clientID bypasses
+// deduplication entirely.
+//
+// On error, a nonzero returned sequence means the frame was written and
+// onAppend observed it — only the durability promise failed (a poisoned
+// fsync), so an applier downstream of onAppend WILL process the batch and
+// the caller must not double-release resources it hands the applier. A
+// zero sequence with an error means nothing was logged or enqueued.
+func (gc *GroupCommit) AppendTagged(clientID string, clientSeq uint64, b graph.Batch) (uint64, bool, error) {
 	gc.inflight.Add(1)
 	defer gc.inflight.Add(-1)
 	gc.mu.Lock()
+	if gc.dedup != nil && clientID != "" {
+		if walSeq, dup := gc.dedup.Check(clientID, clientSeq); dup {
+			gc.mu.Unlock()
+			// The original append already ran; make sure the ack we are
+			// about to repeat keeps the durability promise it carried.
+			if gc.l.opts.Policy == FsyncAlways && walSeq > 0 {
+				if err := gc.waitDurable(walSeq); err != nil {
+					return 0, true, err
+				}
+			}
+			return walSeq, true, nil
+		}
+	}
 	seq := gc.next + 1
-	if err := gc.l.append(seq, b); err != nil {
+	if err := gc.l.appendTagged(seq, clientID, clientSeq, b); err != nil {
 		gc.mu.Unlock()
-		return 0, err
+		return 0, false, err
 	}
 	gc.next = seq
+	if gc.dedup != nil && clientID != "" {
+		gc.dedup.Record(clientID, clientSeq, seq)
+	}
 	if gc.onAppend != nil {
 		gc.onAppend(seq, b)
 	}
@@ -75,18 +111,17 @@ func (gc *GroupCommit) Append(b graph.Batch) (uint64, error) {
 		// interval sync runs inline; it is amortized and rarely fires.
 		err := gc.l.syncPolicy()
 		gc.mu.Unlock()
-		if err != nil {
-			return 0, err
-		}
-		return seq, nil
+		// On error the frame is still logged and enqueued: report seq so the
+		// caller knows the applier will see this batch.
+		return seq, false, err
 	}
 	gc.mu.Unlock()
 	// always: wait (outside the append mutex, so the next group can form)
 	// until a leader's fsync covers this sequence.
 	if err := gc.waitDurable(seq); err != nil {
-		return 0, err
+		return seq, false, err
 	}
-	return seq, nil
+	return seq, false, nil
 }
 
 // waitDurable blocks until synced >= seq. The first waiter of a round
@@ -178,4 +213,43 @@ func (gc *GroupCommit) withLog(f func(l *Log) error) error {
 	gc.mu.Lock()
 	defer gc.mu.Unlock()
 	return f(gc.l)
+}
+
+// Dedup exposes the group's dedup table (nil when exactly-once ingest is
+// disabled) for hit accounting.
+func (gc *GroupCommit) Dedup() *DedupTable { return gc.dedup }
+
+// reopen swaps a poisoned log for a freshly Opened one over the same
+// directory — the degraded-mode recovery seam. establish runs with the new
+// log installed and the append mutex held; it must leave disk and engine
+// agreeing on the chain head (durableCore does so by snapshotting the
+// applied state and restarting the chain there). On success the sticky sync
+// error clears and the durable watermark jumps to the last assigned
+// sequence, which the establish snapshot now covers.
+func (gc *GroupCommit) reopen(establish func(l *Log) error) error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	old := gc.l
+	old.abandon() // a poisoned handle can't be synced; drop it
+	nl, err := Open(old.opts)
+	if err != nil {
+		return err
+	}
+	gc.l = nl
+	if err := establish(nl); err != nil {
+		// Still degraded: put the (dead) old log back so appends keep
+		// failing with ErrPoisoned until a later reopen succeeds.
+		nl.abandon()
+		gc.l = old
+		return err
+	}
+	gc.sm.Lock()
+	gc.syncErr = nil
+	if gc.next > gc.synced {
+		gc.synced = gc.next
+	}
+	close(gc.wake)
+	gc.wake = make(chan struct{})
+	gc.sm.Unlock()
+	return nil
 }

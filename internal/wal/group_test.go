@@ -3,7 +3,9 @@ package wal
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -208,21 +210,21 @@ func runServingUntilCrash(t *testing.T, w gen.Workload, alg algo.Selective, dc D
 		seq, err := gc.Append(b)
 		if err != nil {
 			if _, ok := err.(*crashError); ok {
-				d.abandon()
+				d.Abandon()
 				return acked, true
 			}
 			t.Fatal(err)
 		}
 		if _, err := d.ApplyLogged(context.Background(), seq, b); err != nil {
 			if _, ok := err.(*crashError); ok {
-				d.abandon()
+				d.Abandon()
 				return acked, true
 			}
 			t.Fatal(err)
 		}
 		acked++
 	}
-	d.abandon()
+	d.Abandon()
 	return acked, false
 }
 
@@ -442,6 +444,128 @@ func TestGroupWindowSharesFsyncs(t *testing.T) {
 	if elapsed := time.Since(t0); elapsed > time.Second {
 		t.Fatalf("lone writer paid the commit window: 20 appends took %v", elapsed)
 	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitFsyncFailureExactlyOnce drives several appenders into one
+// commit window and fails the covering fsync: every parked writer must
+// observe the failure exactly once (its own Append returns the error, never
+// a false ack), the log must poison consistently for later appends, and
+// after a ReopenLog each writer's resend of the SAME idempotency key must
+// land exactly once — the already-applied ones dedup, the rest append fresh.
+func TestGroupCommitFsyncFailureExactlyOnce(t *testing.T) {
+	const writers = 6
+	w := testWorkload(41, 64, 1, 10)
+	alg := algo.SSSP{Src: 0}
+	var failSync atomic.Bool
+	dc := DurableConfig{DedupWindow: 8, Wal: Options{
+		Dir: t.TempDir(), Policy: FsyncAlways,
+		// Hold the window open so the writers pile into one sync round, and
+		// fail that round's fsync when armed.
+		GroupWindow: 2 * time.Millisecond,
+		hook: func(site string) error {
+			if site == "append.sync" && failSync.CompareAndSwap(true, false) {
+				return errors.New("injected fsync failure")
+			}
+			return nil
+		},
+	}}
+	d, err := NewDurableSelective(graph.FromEdges(w.NumV, w.Initial), alg, engine.Config{Workers: 2}, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type logged struct {
+		seq uint64
+		b   graph.Batch
+	}
+	applyQ := make(chan logged, 64)
+	gc := d.Group(func(seq uint64, b graph.Batch) { applyQ <- logged{seq, b} }, nil)
+	applierDone := make(chan error, 1)
+	go func() {
+		for lg := range applyQ {
+			if _, err := d.ApplyLogged(context.Background(), lg.seq, lg.b); err != nil {
+				applierDone <- err
+				return
+			}
+		}
+		applierDone <- nil
+	}()
+	gc.AddWriter(writers)
+
+	// One healthy append proves the rig, then arm the failure and park all
+	// writers in the same commit window.
+	if _, err := gc.Append(tagBatch(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	failSync.Store(true)
+	type result struct {
+		id  int
+		err error
+	}
+	results := make(chan result, writers)
+	for i := 0; i < writers; i++ {
+		go func(i int) {
+			_, _, err := gc.AppendTagged(fmt.Sprintf("w%d", i), 1, tagBatch(i+1, 1))
+			results <- result{i, err}
+		}(i)
+	}
+	nerr := 0
+	for i := 0; i < writers; i++ {
+		r := <-results
+		if r.err == nil {
+			t.Fatalf("writer %d was acked by a failed commit window", r.id)
+		}
+		nerr++
+	}
+	if nerr != writers {
+		t.Fatalf("%d error observations for %d parked writers", nerr, writers)
+	}
+	// Poisoned consistently: the next append refuses without touching disk.
+	if _, err := gc.Append(tagBatch(9, 9)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("post-failure append = %v, want ErrPoisoned", err)
+	}
+
+	// Recover the serving log in place, then resend every writer's key.
+	var rerr error
+	for i := 0; i < 200; i++ {
+		if rerr = d.ReopenLog(); rerr == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rerr != nil {
+		t.Fatalf("ReopenLog never succeeded: %v", rerr)
+	}
+	for i := 0; i < writers; i++ {
+		if _, _, err := gc.AppendTagged(fmt.Sprintf("w%d", i), 1, tagBatch(i+1, 1)); err != nil {
+			t.Fatalf("writer %d resend: %v", i, err)
+		}
+	}
+	// Exactly once end to end: 1 healthy + one instance of each writer's
+	// batch, whether its original landed before the poison or its resend
+	// did after the reopen.
+	if got, want := gc.LastSeq(), uint64(1+writers); got != want {
+		t.Fatalf("LastSeq = %d, want %d (duplicate or lost appends)", got, want)
+	}
+	gc.AddWriter(-writers)
+	close(applyQ)
+	if err := <-applierDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The directory agrees: recovery replays to exactly LastSeq.
+	d2, rs, err := RecoverSelective(alg, engine.Config{Workers: 2}, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Seq() != uint64(1+writers) {
+		t.Fatalf("recovered seq = %d, want %d", d2.Seq(), 1+writers)
+	}
+	_ = rs
 	if err := d2.Close(); err != nil {
 		t.Fatal(err)
 	}

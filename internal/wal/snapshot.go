@@ -69,12 +69,22 @@ type SnapshotData struct {
 	Edges  []graph.Edge
 	Vals   []float64
 	Parent []int32
+	// Dedup is the persisted exactly-once ingest window, consistent with
+	// Seq; nil for snapshots written before dedup existed or with it off.
+	Dedup *DedupTable
 }
 
 // WriteSnapshot persists a snapshot of g and the engine state at seq into
 // opts.Dir, atomically (temp file + rename) and durably (file and directory
 // synced unless the policy is FsyncOff).
 func WriteSnapshot(opts Options, seq uint64, g *graph.Streaming, vals []float64, parent []int32) error {
+	return writeSnapshotWith(opts, seq, g, vals, parent, nil)
+}
+
+// writeSnapshotWith is WriteSnapshot plus the optional dedup frame: only
+// entries whose walSeq the snapshot covers are persisted, so a snapshot can
+// never assert exactly-once for a batch whose frame it might outlive.
+func writeSnapshotWith(opts Options, seq uint64, g *graph.Streaming, vals []float64, parent []int32, dedup *DedupTable) error {
 	if _, err := opts.fire("snapshot.write"); err != nil {
 		return err
 	}
@@ -85,6 +95,9 @@ func WriteSnapshot(opts Options, seq uint64, g *graph.Streaming, vals []float64,
 	buf = AppendFrame(buf, KindSnapHeader, hdr[:])
 	buf = AppendFrame(buf, KindSnapEdges, EncodeEdges(nil, g.Edges()))
 	buf = AppendFrame(buf, KindSnapState, EncodeState(nil, vals, parent))
+	if dedup != nil {
+		buf = AppendFrame(buf, KindSnapDedup, dedup.Encode(nil, seq))
+	}
 	buf = AppendFrame(buf, KindSnapFooter, hdr[0:8])
 	return writeSnapshotFile(opts, seq, buf)
 }
@@ -172,10 +185,25 @@ func ReadSnapshot(path string) (*SnapshotData, error) {
 	if sd.Vals, sd.Parent, err = DecodeState(stateP, sd.NumV, sd.NumV); err != nil {
 		return nil, err
 	}
-	footer, err := next(KindSnapFooter)
+	// The dedup frame is optional (older snapshots and dedup-off wrappers
+	// omit it); whichever of KindSnapDedup/KindSnapFooter comes next decides.
+	kind, payload, err := ReadFrame(f)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("wal: snapshot %s: %w", filepath.Base(path), err)
 	}
+	if kind == KindSnapDedup {
+		if sd.Dedup, err = DecodeDedupTable(payload); err != nil {
+			return nil, err
+		}
+		if payload, err = next(KindSnapFooter); err != nil {
+			return nil, err
+		}
+		kind = KindSnapFooter
+	}
+	if kind != KindSnapFooter {
+		return nil, fmt.Errorf("%w: snapshot frame kind %d, want %d", ErrCorrupt, kind, KindSnapFooter)
+	}
+	footer := payload
 	if len(footer) != 8 || getU64(footer) != sd.Seq {
 		return nil, fmt.Errorf("%w: snapshot footer disagrees with header", ErrCorrupt)
 	}

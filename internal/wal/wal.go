@@ -87,6 +87,13 @@ type Options struct {
 	// previous fsync).
 	GroupWindow time.Duration
 
+	// DiskFaults, when non-nil, is consulted at the same sites as the crash
+	// hook but injects live disk errors (ENOSPC, EIO, failing fsync) instead
+	// of simulated process death: the operation fails and poisons the log,
+	// and the process is expected to degrade, probe, and Reopen. Shared by
+	// reference across Options copies and log reopens.
+	DiskFaults *DiskFaultInjector
+
 	// hook is the crash-point injection seam: when non-nil it runs before
 	// every durability-critical operation, and a non-nil return aborts the
 	// operation as if the process died there (crash_test.go). Production
@@ -121,14 +128,18 @@ func (e *crashError) Error() string { return "wal: injected crash at " + e.Site 
 // fire runs the hook for a site and reports how many bytes of pending data
 // to write before dying (-1 = none).
 func (o Options) fire(site string) (tear int, err error) {
-	if o.hook == nil {
-		return -1, nil
-	}
-	if err := o.hook(site); err != nil {
-		if ce, ok := err.(*crashError); ok {
-			return ce.Tear, err
+	if o.hook != nil {
+		if err := o.hook(site); err != nil {
+			if ce, ok := err.(*crashError); ok {
+				return ce.Tear, err
+			}
+			return -1, err
 		}
-		return -1, err
+	}
+	if o.DiskFaults != nil {
+		if err := o.DiskFaults.fire(site); err != nil {
+			return -1, err
+		}
 	}
 	return -1, nil
 }
@@ -281,16 +292,26 @@ func scanSegment(path string, prevSeq uint64) (validEnd int64, lastSeq uint64, o
 		if rerr != nil {
 			return validEnd, lastSeq, false, nil // torn or corrupt: stop here
 		}
-		if kind != KindBatch {
-			return validEnd, lastSeq, false, nil
-		}
-		seq, _, derr := DecodeBatch(payload)
+		seq, _, _, _, derr := decodeAnyBatch(kind, payload)
 		if derr != nil || (prevSeq != 0 && seq != prevSeq+1) || (prevSeq == 0 && seq == 0) {
 			return validEnd, lastSeq, false, nil
 		}
 		prevSeq, lastSeq = seq, seq
 		validEnd = cr.n
 	}
+}
+
+// decodeAnyBatch decodes either batch frame kind, returning empty tag fields
+// for untagged frames and an error for any other kind.
+func decodeAnyBatch(kind byte, payload []byte) (seq uint64, b graph.Batch, clientID string, clientSeq uint64, err error) {
+	switch kind {
+	case KindBatch:
+		seq, b, err = DecodeBatch(payload)
+		return seq, b, "", 0, err
+	case KindBatchTagged:
+		return DecodeTaggedBatch(payload)
+	}
+	return 0, nil, "", 0, fmt.Errorf("%w: frame kind %d in log segment", ErrCorrupt, kind)
 }
 
 // countingReader tracks how many bytes have been consumed, so scans know
@@ -333,11 +354,25 @@ func (l *Log) Append(seq uint64, b graph.Batch) error {
 	return l.syncPolicy()
 }
 
-// append writes the frame without running the fsync policy — the seam the
-// group-commit layer uses to batch many appends under one sync. Failures
+// append writes an untagged batch frame without running the fsync policy —
+// the seam the group-commit layer uses to batch many appends under one sync.
+func (l *Log) append(seq uint64, b graph.Batch) error {
+	return l.appendKind(seq, KindBatch, EncodeBatch(nil, seq, b))
+}
+
+// appendTagged writes a batch frame carrying a client idempotency key; an
+// empty clientID falls back to the untagged kind.
+func (l *Log) appendTagged(seq uint64, clientID string, clientSeq uint64, b graph.Batch) error {
+	if clientID == "" {
+		return l.append(seq, b)
+	}
+	return l.appendKind(seq, KindBatchTagged, EncodeTaggedBatch(nil, seq, clientID, clientSeq, b))
+}
+
+// appendKind writes one already-encoded batch payload under seq. Failures
 // that may have left bytes on disk (torn write, short write, rotate) poison
 // the log; sequence-validation errors change nothing and do not.
-func (l *Log) append(seq uint64, b graph.Batch) error {
+func (l *Log) appendKind(seq uint64, kind byte, payload []byte) error {
 	if l.err != nil {
 		return l.err
 	}
@@ -353,7 +388,7 @@ func (l *Log) append(seq uint64, b graph.Batch) error {
 			return l.poison(err)
 		}
 	}
-	l.buf = AppendFrame(l.buf[:0], KindBatch, EncodeBatch(nil, seq, b))
+	l.buf = AppendFrame(l.buf[:0], kind, payload)
 	if tear, err := l.opts.fire("append.write"); err != nil {
 		if tear >= 0 && tear < len(l.buf) {
 			l.f.Write(l.buf[:tear])
@@ -457,6 +492,16 @@ func (l *Log) Sync() error {
 // mid-log corruption is reported as an ErrCorrupt-wrapped error instead of
 // being passed off as a short log.
 func (l *Log) Replay(fromSeq uint64, fn func(seq uint64, b graph.Batch) error) error {
+	return l.ReplayTagged(fromSeq, func(seq uint64, b graph.Batch, _ string, _ uint64) error {
+		return fn(seq, b)
+	})
+}
+
+// ReplayTagged is Replay with the client idempotency tag surfaced: frames
+// written by appendTagged yield their (clientID, clientSeq); untagged frames
+// yield ("", 0). Recovery uses it to rebuild the dedup window alongside the
+// engine state.
+func (l *Log) ReplayTagged(fromSeq uint64, fn func(seq uint64, b graph.Batch, clientID string, clientSeq uint64) error) error {
 	prev := fromSeq
 	for i, s := range l.segs {
 		tail := i == len(l.segs)-1
@@ -473,14 +518,14 @@ func (l *Log) Replay(fromSeq uint64, fn func(seq uint64, b graph.Batch) error) e
 			if rerr == io.EOF {
 				break
 			}
-			if rerr != nil || kind != KindBatch {
+			if rerr != nil || (kind != KindBatch && kind != KindBatchTagged) {
 				f.Close()
 				if tail {
 					return nil // damaged tail: recovery keeps the prefix
 				}
 				return midLog("damaged frame")
 			}
-			seq, b, derr := DecodeBatch(payload)
+			seq, b, cid, cseq, derr := decodeAnyBatch(kind, payload)
 			if derr != nil {
 				f.Close()
 				if tail {
@@ -498,7 +543,7 @@ func (l *Log) Replay(fromSeq uint64, fn func(seq uint64, b graph.Batch) error) e
 				}
 				return midLog(fmt.Sprintf("sequence gap (%d after %d)", seq, prev))
 			}
-			if err := fn(seq, b); err != nil {
+			if err := fn(seq, b, cid, cseq); err != nil {
 				f.Close()
 				return err
 			}

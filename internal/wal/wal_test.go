@@ -366,7 +366,7 @@ func TestDurableRecoveryConvergesToOracle(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			d.abandon() // process death: no Close, no final sync
+			d.Abandon() // process death: no Close, no final sync
 
 			d2, rs, err := RecoverSelective(alg, engine.Config{Workers: 2}, dc)
 			if err != nil {

@@ -148,7 +148,9 @@ func load(path string) (expr.Report, error) {
 // identityCols are numeric columns that configure a row rather than
 // measure it; they join the label cells in rowKey so sweeps over worker
 // or node counts (Figs S1, S4, S7, 16) don't collapse into one key.
-var identityCols = map[string]bool{"Workers": true, "Nodes": true, "Batches": true}
+// "Scenarios" keys Fig S8's chaos rows (fault profile x resume x scenario
+// count); "Batches" there is a measured denominator, not an identity.
+var identityCols = map[string]bool{"Workers": true, "Nodes": true, "Batches": true, "Scenarios": true}
 
 // rowKey concatenates a row's label cells — the columns with no numeric
 // value, plus the numeric identity columns — which identify the row

@@ -99,6 +99,75 @@ cmp "$servetmp/served.txt" "$servetmp/oracle.txt"
 rm -rf "$servetmp"
 trap - EXIT
 
+echo "== serving-chaos smoke (faultproxy resets, client resume, dump vs oracle) =="
+chaostmp=$(mktemp -d)
+dpid=""; ppid=""
+cleanup_chaos() {
+    [ -n "$dpid" ] && kill "$dpid" 2>/dev/null || true
+    [ -n "$ppid" ] && kill "$ppid" 2>/dev/null || true
+    rm -rf "$chaostmp"
+}
+trap cleanup_chaos EXIT
+go build -o "$chaostmp/graphflyd" ./cmd/graphflyd
+go build -o "$chaostmp/graphfly" ./cmd/graphfly
+go build -o "$chaostmp/faultproxy" ./cmd/faultproxy
+common=(-algo SSSP -dataset LJ -nEdges 400 -deletions 0.1 -seed 42)
+wait_line() { # $1 = logfile, $2 = sed extraction pattern; sets $addr
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n "$2" "$1")
+        [ -n "$addr" ] && return 0
+        sleep 0.1
+    done
+    echo "server/proxy never came up:" >&2; cat "$1" >&2; return 1
+}
+"$chaostmp/graphflyd" "${common[@]}" -waldir "$chaostmp/wal" -addr 127.0.0.1:0 \
+    -fsync always -snapshot-every 4 -dedup-window 64 > "$chaostmp/server.out" 2>&1 &
+dpid=$!
+wait_line "$chaostmp/server.out" 's/^graphflyd listening on \([0-9.:]*\) .*/\1/p'
+daddr=$addr
+# park the fault proxy between client and daemon: seeded resets + torn writes
+"$chaostmp/faultproxy" -listen 127.0.0.1:0 -target "$daddr" \
+    -netfault seed=7,reset=0.03,partial=0.02,delay=0.05,maxdelay=2ms,maxfaults=12 \
+    > "$chaostmp/proxy.out" 2>&1 &
+ppid=$!
+wait_line "$chaostmp/proxy.out" 's/^faultproxy listening on \([0-9.:]*\) .*/\1/p'
+# resuming client: every batch must land exactly once despite the faults
+"$chaostmp/graphflyd" "${common[@]}" -client ingest -client-id chaos-smoke \
+    -addr "$addr" -numberOfUpdateBatches 6 > "$chaostmp/ingest.out" 2>&1
+[ "$(grep -c '^ingested batch' "$chaostmp/ingest.out")" = 6 ]
+grep -q 'seq=6' "$chaostmp/ingest.out" # no duplicate applies shifted the ledger
+kill "$ppid"; wait "$ppid" 2>/dev/null || true; ppid=""
+# dump straight from the daemon (not through the dead proxy) vs the oracle
+"$chaostmp/graphflyd" -client dump -addr "$daddr" -o "$chaostmp/served.txt"
+kill -TERM "$dpid"; wait "$dpid"
+grep -q 'drained: durable through seq 6' "$chaostmp/server.out"
+dpid=""
+"$chaostmp/graphfly" "${common[@]}" -numberOfUpdateBatches 6 \
+    -outputFile "$chaostmp/oracle.txt" > /dev/null
+cmp "$chaostmp/served.txt" "$chaostmp/oracle.txt"
+
+echo "== degraded-mode smoke (injected ENOSPC, read-only window, auto-recovery) =="
+# after=4 skips segment creation + batch 1, so batch 2's fsync fails: the
+# batch is logged-but-unacked, the daemon flips read-only, the prober swaps
+# in a fresh log generation, and the client's same-key resend dedups.
+"$chaostmp/graphflyd" "${common[@]}" -waldir "$chaostmp/wal2" -addr 127.0.0.1:0 \
+    -fsync always -diskfault after=4,count=1,err=enospc -metrics \
+    > "$chaostmp/server2.out" 2>&1 &
+dpid=$!
+wait_line "$chaostmp/server2.out" 's/^graphflyd listening on \([0-9.:]*\) .*/\1/p'
+"$chaostmp/graphflyd" "${common[@]}" -client ingest -client-id degraded-smoke \
+    -addr "$addr" -numberOfUpdateBatches 6 > "$chaostmp/ingest2.out" 2>&1
+[ "$(grep -c '^ingested batch' "$chaostmp/ingest2.out")" = 6 ]
+grep -q 'seq=6' "$chaostmp/ingest2.out"
+kill -TERM "$dpid"; wait "$dpid"
+dpid=""
+grep -q 'drained: durable through seq 6' "$chaostmp/server2.out"
+grep -q 'serve.degraded_entries 1' "$chaostmp/server2.out"
+grep -q 'serve.degraded_recoveries 1' "$chaostmp/server2.out"
+rm -rf "$chaostmp"
+trap - EXIT
+
 echo "== bench smoke (machine-readable report + schema validation) =="
 benchtmp=$(mktemp -d)
 trap 'rm -rf "$benchtmp"' EXIT
